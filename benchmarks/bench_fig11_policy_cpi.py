@@ -1,0 +1,47 @@
+"""Figure 11 — CPI overhead by policy (MID average).
+
+Paper: MemScale's CPI increases stay under the 10% bound;
+MemScale (MemEnergy) slightly exceeds it; Slow-PD hurts one app by 15%;
+Fast-PD/Decoupled/Static cost only a few percent.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.cpu.workloads import mix_names
+
+POLICIES = ["Fast-PD", "Slow-PD", "Decoupled", "Static",
+            "MemScale(MemEnergy)", "MemScale", "MemScale+Fast-PD"]
+
+
+def test_fig11_policy_cpi(benchmark, ctx):
+    def run_all():
+        out = {}
+        for policy in POLICIES:
+            avgs, worsts = [], []
+            for mix in mix_names("MID"):
+                cmp = ctx.comparison(mix, policy)
+                avgs.append(cmp.avg_cpi_increase)
+                worsts.append(cmp.worst_cpi_increase)
+            out[policy] = (sum(avgs) / len(avgs), max(worsts))
+        return out
+
+    stats = run_once(benchmark, run_all)
+
+    rows = [[p, f"{stats[p][0] * 100:5.1f}%", f"{stats[p][1] * 100:5.1f}%"]
+            for p in POLICIES]
+    print()
+    print(format_table(
+        ["policy", "Multiprogram Average", "Worst Program"], rows,
+        title="Figure 11: MID-average CPI increase by policy"))
+
+    # MemScale within the bound (small slop for the scaled simulation).
+    assert stats["MemScale"][1] <= 0.10 + 0.02
+    # The cheap static policies barely degrade performance.
+    for policy in ("Fast-PD", "Decoupled"):
+        assert stats[policy][0] < 0.05
+    # Slow-PD hurts markedly more than Fast-PD.
+    assert stats["Slow-PD"][1] > 2 * stats["Fast-PD"][1]
+    # MemEnergy degrades at least as much as system-aware MemScale.
+    assert stats["MemScale(MemEnergy)"][0] >= stats["MemScale"][0] - 0.01

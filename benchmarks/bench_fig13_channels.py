@@ -1,0 +1,57 @@
+"""Figure 13 — sensitivity to the number of memory channels.
+
+System energy savings and worst-case CPI increase (MID average) with
+2, 3, and 4 channels. Fewer channels concentrate the same traffic, so
+frequencies cannot drop as far.
+
+Paper: more channels -> larger savings; even at 2 channels MemScale
+still saves roughly 14% system energy within the bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.config import scaled_config
+from repro.cpu.workloads import mix_names
+
+CHANNELS = (2, 3, 4)
+
+
+def test_fig13_channels(benchmark, ctx):
+    def run_all():
+        out = {}
+        for channels in CHANNELS:
+            # The ~same 8 DIMMs are redistributed over fewer channels
+            # (the paper varies channel count, not memory capacity).
+            per_channel = max(1, round(8 / channels))
+            cfg = scaled_config().with_org(channels=channels,
+                                           dimms_per_channel=per_channel)
+            runner = ctx.runner(config=cfg, key=("channels", channels))
+            savings, worst = [], []
+            for mix in mix_names("MID"):
+                cmp = ctx.comparison(mix, "MemScale", runner=runner,
+                                     key=("channels", channels))
+                savings.append(cmp.system_energy_savings)
+                worst.append(cmp.worst_cpi_increase)
+            out[channels] = (sum(savings) / len(savings), max(worst))
+        return out
+
+    stats = run_once(benchmark, run_all)
+
+    rows = [[f"{c} channels",
+             f"{stats[c][0] * 100:5.1f}%", f"{stats[c][1] * 100:5.1f}%"]
+            for c in CHANNELS]
+    print()
+    print(format_table(
+        ["config", "System Energy Reduction", "Worst-case CPI Increase"],
+        rows, title="Figure 13: impact of channel count (MID average)"))
+
+    # More channels -> at least as much savings.
+    assert stats[4][0] >= stats[3][0] - 0.01
+    assert stats[3][0] >= stats[2][0] - 0.01
+    # Doubling per-channel traffic (4 -> 2 channels) still saves energy.
+    assert stats[2][0] > 0.0
+    # The bound holds at every channel count.
+    for c in CHANNELS:
+        assert stats[c][1] <= 0.10 + 0.025

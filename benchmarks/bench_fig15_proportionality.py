@@ -1,0 +1,50 @@
+"""Figure 15 — sensitivity to MC/register power proportionality.
+
+System energy savings (MID average) with the MC/register idle power at
+0%, 50%, and 100% of peak.
+
+Paper: the *less* power-proportional the components (higher idle
+power), the more MemScale saves — up to ~23% — because frequency
+scaling is then the only way to cut their draw.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.config import scaled_config
+from repro.cpu.workloads import mix_names
+
+IDLE_FRACTIONS = (0.0, 0.5, 1.0)
+
+
+def test_fig15_proportionality(benchmark, ctx):
+    def run_all():
+        out = {}
+        for idle in IDLE_FRACTIONS:
+            cfg = scaled_config().with_power(proportionality_idle_frac=idle)
+            runner = ctx.runner(config=cfg, key=("prop", idle))
+            savings, worst = [], []
+            for mix in mix_names("MID"):
+                cmp = ctx.comparison(mix, "MemScale", runner=runner,
+                                     key=("prop", idle))
+                savings.append(cmp.system_energy_savings)
+                worst.append(cmp.worst_cpi_increase)
+            out[idle] = (sum(savings) / len(savings), max(worst))
+        return out
+
+    stats = run_once(benchmark, run_all)
+
+    rows = [[f"{i * 100:.0f}% Idle Power",
+             f"{stats[i][0] * 100:5.1f}%", f"{stats[i][1] * 100:5.1f}%"]
+            for i in IDLE_FRACTIONS]
+    print()
+    print(format_table(
+        ["idle power", "System Energy Reduction", "Worst-case CPI Increase"],
+        rows, title="Figure 15: impact of MC/register power "
+                    "proportionality (MID average)"))
+
+    # Less proportional hardware -> bigger savings from scaling.
+    assert stats[1.0][0] > stats[0.5][0] > stats[0.0][0]
+    for i in IDLE_FRACTIONS:
+        assert stats[i][1] <= 0.10 + 0.025

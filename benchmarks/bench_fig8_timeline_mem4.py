@@ -1,0 +1,40 @@
+"""Figure 8 — "virtual frequency" oscillation on MEM4 (8 cores).
+
+The ideal frequency for MEM4 lies between two ladder points, so the
+policy alternates between neighbouring frequencies, synthesizing a
+virtual frequency (the paper runs this mix on an 8-core system).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_series
+
+
+def test_fig8_timeline_mem4(benchmark, ctx):
+    runner = ctx.runner(cores=8, key=("fig8", 8))
+
+    def run():
+        return ctx.memscale_run("MEM4", runner=runner, key=("fig8",))
+
+    result, comparison = run_once(benchmark, run)
+
+    times = [s.time_ns / 1000.0 for s in result.timeline]
+    freqs = [s.bus_mhz for s in result.timeline]
+    print()
+    print("Figure 8: MEM4 (8 cores) bus frequency timeline")
+    print(format_series(times, freqs, "time (us)", "bus MHz",
+                        y_format="{:.0f}"))
+
+    # The steady-state portion oscillates between a small set of
+    # neighbouring frequencies rather than pinning to one point.
+    body = freqs[1:]  # skip the initial profiling epoch
+    distinct = sorted(set(body))
+    assert len(distinct) >= 2, "expected oscillation between ladder points"
+    # The distinct frequencies used in steady state are close together
+    # (virtual frequency = blend of neighbours, not wild swings).
+    switches = sum(1 for a, b in zip(body, body[1:]) if a != b)
+    assert switches >= 2, "expected repeated switching (virtual frequency)"
+    # And performance stays within the bound.
+    assert comparison.worst_cpi_increase <= 0.10 + 0.02

@@ -1,0 +1,89 @@
+"""Model playground: use the Section 3.3 models without a simulation.
+
+Profiles one short interval of a real simulated run, then uses the
+performance and energy models exactly as the OS policy does: predict
+per-core CPI and full-system SER at every candidate frequency, and show
+which frequency the policy would pick. Useful for understanding why
+MemScale chooses what it chooses.
+
+Usage::
+
+    python examples/model_playground.py [MIX]
+"""
+
+import sys
+
+from repro import (
+    BaselineGovernor,
+    EnergyModel,
+    PerformanceModel,
+    generate_workload,
+    rest_of_system_power_w,
+    scaled_config,
+)
+from repro.analysis import format_table
+from repro.core.frequency import FrequencyLadder
+from repro.cpu.core_model import CpuCluster
+from repro.cpu.workloads import MIXES
+from repro.memsim.controller import MemoryController
+from repro.memsim.counters import CounterFile
+from repro.memsim.engine import EventEngine
+
+
+def main() -> None:
+    mix = sys.argv[1] if len(sys.argv) > 1 else "MID2"
+    if mix not in MIXES:
+        raise SystemExit(f"unknown mix {mix!r}; choose from {list(MIXES)}")
+    config = scaled_config()
+    ladder = FrequencyLadder(config)
+
+    # Drive the memory system at max frequency for one profiling window.
+    workload = generate_workload(mix, instructions_per_core=50_000)
+    engine = EventEngine()
+    controller = MemoryController(engine, config)
+    cluster = CpuCluster(engine, controller, config.cpu, workload.cores)
+    cluster.start()
+    cluster.sync_committed()
+    start = controller.snapshot()
+    engine.run_until(20_000.0)  # 20 us of profiling
+    cluster.sync_committed()
+    delta = CounterFile.delta(start, controller.snapshot())
+
+    print(f"profiled {mix} for 20 us at 800 MHz:")
+    print(f"  LLC misses: {delta.total_misses:.0f}   "
+          f"row hits: {delta.rbhc:.0f}   "
+          f"xi_bank: {1 + delta.xi_bank:.2f}   xi_bus: {1 + delta.xi_bus:.2f}")
+    print(f"  mean channel utilization: {delta.mean_channel_utilization:.1%}")
+
+    # Apply the models across the whole frequency ladder.
+    perf = PerformanceModel(config)
+    rest_w = rest_of_system_power_w(30.0, config.power.memory_power_fraction)
+    energy = EnergyModel(config, rest_w, perf_model=perf)
+
+    rows = []
+    best = None
+    for point in ladder:
+        pred = perf.predict(delta, point, profiled_freq=ladder.fastest)
+        est = energy.estimate(delta, ladder.fastest, point, ladder.fastest)
+        mean_cpi = float(pred.cpi.mean())
+        rows.append([
+            f"{point.bus_mhz:.0f}", f"{point.mc_voltage:.3f}",
+            f"{pred.tpi_mem_ns:.1f}", f"{mean_cpi:.3f}",
+            f"{est.breakdown.memory_w:.1f}", f"{est.ser:.4f}",
+        ])
+        if best is None or est.ser < best[1]:
+            best = (point.bus_mhz, est.ser)
+
+    print()
+    print(format_table(
+        ["bus MHz", "MC volts", "E[TPI_mem] ns", "mean CPI",
+         "memory W", "SER"],
+        rows, title="Model predictions across the frequency ladder"))
+    print()
+    print(f"SER-minimal frequency (ignoring slack): {best[0]:.0f} MHz")
+    print("The OS policy would pick this point unless a core's slack")
+    print("constraint (Eq. 1) rules it out.")
+
+
+if __name__ == "__main__":
+    main()

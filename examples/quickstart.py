@@ -1,0 +1,50 @@
+"""Quickstart: run MemScale on one Table 1 workload and print the savings.
+
+Usage::
+
+    python examples/quickstart.py [MIX]
+
+where MIX is a Table 1 mix name (default MID1). The script simulates
+the all-on baseline and the MemScale policy on identical traces, then
+reports energy savings and per-application CPI impact.
+"""
+
+import sys
+
+from repro import ExperimentRunner, RunnerSettings
+from repro.analysis import format_table
+from repro.cpu.workloads import MIXES
+
+
+def main() -> None:
+    mix = sys.argv[1] if len(sys.argv) > 1 else "MID1"
+    if mix not in MIXES:
+        raise SystemExit(f"unknown mix {mix!r}; choose from {list(MIXES)}")
+
+    print(f"Simulating {mix} ({', '.join(MIXES[mix].apps)}) ...")
+    runner = ExperimentRunner(
+        settings=RunnerSettings(instructions_per_core=150_000))
+
+    result, comparison = runner.run_memscale(mix)
+
+    print()
+    print(f"=== MemScale on {mix} (10% CPI bound) ===")
+    print(f"memory energy savings : {comparison.memory_energy_savings:7.1%}")
+    print(f"system energy savings : {comparison.system_energy_savings:7.1%}")
+    print(f"average CPI increase  : {comparison.avg_cpi_increase:7.1%}")
+    print(f"worst CPI increase    : {comparison.worst_cpi_increase:7.1%}")
+    print(f"epochs simulated      : {result.epochs}")
+    print(f"frequency transitions : {result.transition_count}")
+    print()
+    rows = [[app, f"{inc:+.1%}"]
+            for app, inc in sorted(comparison.app_cpi_increase.items())]
+    print(format_table(["application", "CPI increase"], rows,
+                       title="Per-application impact"))
+    print()
+    freqs = [s.bus_mhz for s in result.timeline]
+    print(f"bus frequencies used  : {sorted(set(freqs), reverse=True)}")
+    print(f"time-weighted mean    : {sum(freqs) / len(freqs):.0f} MHz")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""MemScale reproduction: active low-power modes for main memory.
+
+A full implementation of the system described in "MemScale: Active
+Low-Power Modes for Main Memory" (Deng, Meisner, Ramos, Wenisch,
+Bianchini — ASPLOS 2011): a detailed DDR3 memory-system simulator, a
+trace-driven multi-core CPU model, the counter-based performance and
+power models, and the OS-level DVFS/DFS policy, plus every baseline the
+paper compares against.
+
+Quick start::
+
+    from repro import ExperimentRunner
+
+    runner = ExperimentRunner()
+    result, comparison = runner.run_memscale("MID1")
+    print(f"system energy savings: {comparison.system_energy_savings:.1%}")
+"""
+
+from repro.config import (
+    AVAILABLE_BUS_FREQS_MHZ,
+    ConfigError,
+    SystemConfig,
+    default_config,
+    scaled_config,
+)
+from repro.core import (
+    BaselineGovernor,
+    DecoupledDimmGovernor,
+    EnergyModel,
+    FrequencyLadder,
+    FrequencyPoint,
+    Governor,
+    MemScaleGovernor,
+    MemScalePolicy,
+    PerformanceModel,
+    PolicyObjective,
+    PowerBreakdown,
+    PowerModel,
+    StaticFrequencyGovernor,
+    rest_of_system_power_w,
+)
+from repro.cpu import (
+    APP_PROFILES,
+    MIXES,
+    TraceGenerator,
+    WorkloadTrace,
+    generate_workload,
+    mix_names,
+)
+from repro.memsim import MemoryController, PowerdownMode
+from repro.sim import (
+    ExperimentRunner,
+    PolicyComparison,
+    RunnerSettings,
+    RunResult,
+    SystemSimulator,
+    compare_to_baseline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_PROFILES",
+    "AVAILABLE_BUS_FREQS_MHZ",
+    "BaselineGovernor",
+    "ConfigError",
+    "DecoupledDimmGovernor",
+    "EnergyModel",
+    "ExperimentRunner",
+    "FrequencyLadder",
+    "FrequencyPoint",
+    "Governor",
+    "MIXES",
+    "MemScaleGovernor",
+    "MemScalePolicy",
+    "MemoryController",
+    "PerformanceModel",
+    "PolicyComparison",
+    "PolicyObjective",
+    "PowerBreakdown",
+    "PowerModel",
+    "PowerdownMode",
+    "RunResult",
+    "RunnerSettings",
+    "StaticFrequencyGovernor",
+    "SystemConfig",
+    "SystemSimulator",
+    "TraceGenerator",
+    "WorkloadTrace",
+    "compare_to_baseline",
+    "default_config",
+    "generate_workload",
+    "mix_names",
+    "rest_of_system_power_w",
+    "scaled_config",
+    "__version__",
+]

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Every experiment is reachable from the shell::
+
+    python -m repro table1
+    python -m repro run MID3 --policy MemScale --instructions 200000
+    python -m repro figure 5
+    python -m repro timeline MID3
+    python -m repro stats MEM1
+    python -m repro best-static MID1
+
+All output is plain text (the same tables the benchmark harness prints).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.config import NS_PER_US, scaled_config
+from repro.cpu.stats import workload_stats
+from repro.cpu.workloads import MIXES, mix_names
+from repro.sim import experiments
+from repro.sim.runner import POLICY_NAMES, ExperimentRunner, RunnerSettings
+
+
+def _make_runner(args) -> ExperimentRunner:
+    config = scaled_config()
+    if getattr(args, "bound", None) is not None:
+        config = config.with_policy(cpi_bound=args.bound)
+    return ExperimentRunner(
+        config=config,
+        settings=RunnerSettings(cores=args.cores,
+                                instructions_per_core=args.instructions,
+                                seed=args.seed))
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instructions", type=int, default=120_000,
+                        help="instructions per core (default 120000)")
+    parser.add_argument("--cores", type=int, default=16,
+                        help="core count, multiple of 4 (default 16)")
+    parser.add_argument("--seed", type=int, default=2011,
+                        help="trace generator seed")
+
+
+def _check_mix(mix: str) -> str:
+    if mix not in MIXES:
+        raise SystemExit(f"unknown mix {mix!r}; choose from {list(MIXES)}")
+    return mix
+
+
+def cmd_table1(args) -> None:
+    runner = _make_runner(args)
+    rows = []
+    for name, mix in MIXES.items():
+        trace = runner.trace(name)
+        rows.append([name, f"{trace.rpki:.2f}", f"{trace.wpki:.2f}",
+                     " ".join(mix.apps)])
+    print(format_table(["Name", "RPKI", "WPKI", "Applications (x4 each)"],
+                       rows, title="Table 1: workload descriptions"))
+
+
+def cmd_run(args) -> None:
+    mix = _check_mix(args.mix)
+    runner = _make_runner(args)
+    if args.policy not in POLICY_NAMES or args.policy == "Baseline":
+        raise SystemExit(
+            f"--policy must be one of {[p for p in POLICY_NAMES if p != 'Baseline']}")
+    cmp = runner.compare_named(mix, args.policy)
+    rows = [
+        ["memory energy savings", f"{cmp.memory_energy_savings:+.1%}"],
+        ["system energy savings", f"{cmp.system_energy_savings:+.1%}"],
+        ["average CPI increase", f"{cmp.avg_cpi_increase:+.1%}"],
+        ["worst CPI increase", f"{cmp.worst_cpi_increase:+.1%}"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.policy} on {mix} vs baseline"))
+    app_rows = [[app, f"{inc:+.1%}"]
+                for app, inc in sorted(cmp.app_cpi_increase.items())]
+    print()
+    print(format_table(["application", "CPI increase"], app_rows))
+
+
+def cmd_figure(args) -> None:
+    runner = _make_runner(args)
+    settings = runner.settings
+    fig = args.number
+    if fig in (5, 6):
+        result = experiments.energy_savings(runner)
+    elif fig in (9, 10, 11):
+        result = experiments.policy_comparison(runner)
+    elif fig == 12:
+        result = experiments.sensitivity_cpi_bound(settings=settings)
+    elif fig == 13:
+        result = experiments.sensitivity_channels(settings=settings)
+    elif fig == 14:
+        result = experiments.sensitivity_memory_fraction(settings=settings)
+    elif fig == 15:
+        result = experiments.sensitivity_proportionality(settings=settings)
+    else:
+        raise SystemExit("supported figures: 5 6 9 10 11 12 13 14 15 "
+                         "(7/8 via the 'timeline' command)")
+    if not result.rows:
+        raise SystemExit("experiment produced no rows")
+    columns = [c for c in result.rows[0] if c != "app_cpi"]
+    rows = [[_fmt(row[c]) for c in columns] for row in result.rows]
+    print(format_table(columns, rows, title=result.name))
+    if result.notes:
+        print(f"\n{result.notes}")
+
+
+def cmd_timeline(args) -> None:
+    mix = _check_mix(args.mix)
+    runner = _make_runner(args)
+    result = experiments.timeline(runner, mix)
+    rows = []
+    for row in result.rows:
+        worst_app = max(row["app_cpi"], key=row["app_cpi"].get) \
+            if row["app_cpi"] else "-"
+        rows.append([
+            f"{row['time_us']:.1f}", f"{row['bus_mhz']:.0f}",
+            f"{row['mean_channel_util']:.1%}",
+            f"{row['memory_power_w']:.1f}", worst_app,
+        ])
+    print(format_table(
+        ["time (us)", "bus MHz", "mean util", "memory W", "slowest app"],
+        rows, title=f"timeline of {mix} under MemScale"))
+    print(f"\n{result.notes}")
+
+
+def cmd_stats(args) -> None:
+    mix = _check_mix(args.mix)
+    runner = _make_runner(args)
+    stats = workload_stats(runner.trace(mix), runner.config.org)
+    print(f"{mix}: {stats.cores} cores, RPKI={stats.rpki:.2f}, "
+          f"WPKI={stats.wpki:.2f}")
+    rows = []
+    for app, s in stats.per_app.items():
+        rows.append([app, f"{s.rpki:.2f}", f"{s.wpki:.2f}",
+                     f"{s.mean_gap:.0f}", f"{s.gap_cv:.2f}",
+                     f"{s.sequential_fraction:.0%}",
+                     f"{s.bank_entropy:.2f}"])
+    print(format_table(
+        ["app", "RPKI", "WPKI", "mean gap", "gap CV", "seq%", "bank entropy"],
+        rows, title="per-application trace statistics"))
+
+
+def cmd_best_static(args) -> None:
+    mix = _check_mix(args.mix)
+    runner = _make_runner(args)
+    bus_mhz, cmp = experiments.best_static_frequency(runner, mix)
+    print(f"best static frequency for {mix}: {bus_mhz:.0f} MHz")
+    print(f"  system energy savings : {cmp.system_energy_savings:+.1%}")
+    print(f"  worst CPI increase    : {cmp.worst_cpi_increase:+.1%}")
+    _, memscale = runner.run_memscale(mix)
+    print(f"MemScale (no reboot, no oracle) on the same trace:")
+    print(f"  system energy savings : {memscale.system_energy_savings:+.1%}")
+    print(f"  worst CPI increase    : {memscale.worst_cpi_increase:+.1%}")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MemScale (ASPLOS 2011) reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("run", help="run one policy on one mix")
+    p.add_argument("mix")
+    p.add_argument("--policy", default="MemScale",
+                   help=f"one of {[n for n in POLICY_NAMES if n != 'Baseline']}")
+    p.add_argument("--bound", type=float, default=None,
+                   help="CPI degradation bound (default 0.10)")
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int)
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("timeline", help="per-epoch timeline (Figures 7/8)")
+    p.add_argument("mix")
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser("stats", help="trace statistics for a mix")
+    p.add_argument("mix")
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("best-static",
+                       help="oracle static frequency vs MemScale")
+    p.add_argument("mix")
+    _add_scale_args(p)
+    p.set_defaults(func=cmd_best_static)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

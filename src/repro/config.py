@@ -1,0 +1,376 @@
+"""System configuration for the MemScale reproduction.
+
+All default values come from Table 2 of the paper (ASPLOS 2011) and the
+surrounding text of Section 4.1. Every knob the sensitivity analysis
+(Section 4.2.4) varies is an explicit field here: number of channels,
+memory power fraction, MC/register power proportionality, CPI bound,
+epoch length, and profiling length.
+
+Unit conventions used throughout the package:
+
+* time        -- nanoseconds (float)
+* frequency   -- MHz (float); 1 cycle at ``f`` MHz lasts ``1000 / f`` ns
+* voltage     -- volts
+* current     -- amperes
+* power       -- watts
+* energy      -- joules
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Bus frequencies the memory subsystem supports, in MHz (Section 4.1).
+#: The memory controller always runs at twice the bus frequency.
+AVAILABLE_BUS_FREQS_MHZ: Tuple[float, ...] = (
+    800.0, 733.0, 667.0, 600.0, 533.0, 467.0, 400.0, 333.0, 267.0, 200.0,
+)
+
+#: Nanoseconds per millisecond / microsecond, used by callers configuring
+#: epoch lengths.
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """DDR3 device timing parameters (Table 2).
+
+    Array-internal timings (``t_rcd``, ``t_rp``, ``t_cl``, ``t_ras``,
+    ``t_rrd``, ``t_rtp``, ``t_faw``, powerdown exits, refresh) are fixed in
+    *nanoseconds*: the DRAM arrays are not scaled, so their wall-clock
+    latency does not change with bus frequency (Section 2.2).  Quantities
+    fixed in *bus cycles* (burst length, MC processing) live on
+    :class:`FrequencyPoint` because their wall-clock time scales.
+    """
+
+    t_rcd_ns: float = 15.0          #: activate -> column command
+    t_rp_ns: float = 15.0           #: precharge
+    t_cl_ns: float = 15.0           #: column access (CAS) latency
+    t_ras_ns: float = 35.0          #: 28 bus cycles at 800 MHz
+    t_rrd_ns: float = 5.0           #: 4 bus cycles at 800 MHz
+    t_rtp_ns: float = 6.25          #: 5 bus cycles at 800 MHz
+    t_faw_ns: float = 25.0          #: 20 bus cycles at 800 MHz
+    t_wr_ns: float = 15.0           #: write recovery before precharge
+    t_xp_ns: float = 6.0            #: exit fast-exit powerdown
+    t_xpdll_ns: float = 24.0        #: exit slow-exit powerdown
+    t_rfc_ns: float = 110.0         #: refresh cycle time (1 Gb device)
+    refresh_period_ns: float = 64.0 * NS_PER_MS  #: retention window
+    refresh_rows: int = 8192        #: rows refreshed per retention window
+
+    @property
+    def t_refi_ns(self) -> float:
+        """Average interval between per-rank refresh commands."""
+        return self.refresh_period_ns / self.refresh_rows
+
+    @property
+    def t_rc_ns(self) -> float:
+        """Minimum activate-to-activate time for one bank."""
+        return self.t_ras_ns + self.t_rp_ns
+
+    def validate(self) -> None:
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (int, float)) and value <= 0:
+                raise ConfigError(f"DramTimings.{f.name} must be positive, got {value}")
+        if self.t_ras_ns < self.t_rcd_ns:
+            raise ConfigError("t_ras must cover at least the activate time t_rcd")
+        if self.t_refi_ns <= self.t_rfc_ns:
+            raise ConfigError("refresh interval must exceed refresh cycle time")
+
+
+@dataclass(frozen=True)
+class DramCurrents:
+    """Per-DRAM-chip current draws at 800 MHz (Table 2).
+
+    Named after the conventional IDD numbering of DDR3 datasheets.
+    Standby and powerdown currents are derated linearly with bus
+    frequency, following Micron's power calculator (Section 4.1).
+    """
+
+    vdd: float = 1.575                 #: supply voltage (not scaled; Section 3.4)
+    idd0: float = 0.120                #: activate-precharge current
+    idd2n: float = 0.070               #: precharge standby
+    idd2p: float = 0.045               #: precharge powerdown
+    idd3n: float = 0.067               #: active standby
+    idd3p: float = 0.045               #: active powerdown
+    idd4r: float = 0.250               #: burst read
+    idd4w: float = 0.250               #: burst write
+    idd5: float = 0.240                #: refresh
+    #: Fraction of standby/powerdown current that does *not* scale with
+    #: frequency (leakage and refresh logic). The frequency-dependent
+    #: remainder is derated by ``f / 800``.
+    static_fraction: float = 0.35
+    #: Average termination power dissipated in a rank while another rank on
+    #: the same channel drives a read/write burst (ODT), in watts per rank.
+    termination_w_read: float = 0.73
+    termination_w_write: float = 1.10
+
+    def validate(self) -> None:
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value < 0:
+                raise ConfigError(f"DramCurrents.{f.name} must be non-negative")
+        if not 0.0 <= self.static_fraction <= 1.0:
+            raise ConfigError("static_fraction must lie in [0, 1]")
+        if self.idd4r < self.idd3n or self.idd4w < self.idd3n:
+            raise ConfigError("burst currents must exceed active standby current")
+
+
+@dataclass(frozen=True)
+class MemoryOrgConfig:
+    """Physical organization of the memory subsystem (Table 2)."""
+
+    channels: int = 4               #: independent DDR3 channels
+    dimms_per_channel: int = 2      #: registered DIMMs per channel
+    ranks_per_dimm: int = 2         #: dual-ranked DIMMs
+    chips_per_rank: int = 9         #: x8 chips, 72-bit wide with ECC
+    banks_per_rank: int = 8         #: banks per DRAM chip / rank
+    rows_per_bank: int = 32768
+    row_size_bytes: int = 8192      #: row-buffer (page) size
+    cache_line_bytes: int = 64
+    dimm_capacity_gib: int = 2
+    #: Row-buffer management: "closed" (precharge after each access unless
+    #: a same-row access is already pending — the paper's choice, better
+    #: for multi-core [40]) or "open" (rows stay open until a conflict).
+    row_policy: str = "closed"
+
+    @property
+    def ranks_per_channel(self) -> int:
+        return self.dimms_per_channel * self.ranks_per_dimm
+
+    @property
+    def total_ranks(self) -> int:
+        return self.channels * self.ranks_per_channel
+
+    @property
+    def total_dimms(self) -> int:
+        return self.channels * self.dimms_per_channel
+
+    @property
+    def total_banks(self) -> int:
+        return self.total_ranks * self.banks_per_rank
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_size_bytes // self.cache_line_bytes
+
+    def validate(self) -> None:
+        for name in ("channels", "dimms_per_channel", "ranks_per_dimm",
+                     "chips_per_rank", "banks_per_rank", "rows_per_bank"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"MemoryOrgConfig.{name} must be positive")
+        if self.row_size_bytes % self.cache_line_bytes != 0:
+            raise ConfigError("row size must be a multiple of the cache line size")
+        if self.row_policy not in ("closed", "open"):
+            raise ConfigError(
+                f"row_policy must be 'closed' or 'open', got {self.row_policy!r}")
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Processor-side parameters (Table 2)."""
+
+    cores: int = 16
+    freq_mhz: float = 4000.0        #: 4 GHz
+    #: Average CPU cycles per instruction for instructions that do not miss
+    #: the LLC, including L1/L2 hit stalls. The paper models this as fixed
+    #: (Section 3.3); 2.0 reproduces the baseline CPIs of 2-6 its Figure 7b
+    #: shows for the MID workloads.
+    cpi_cpu: float = 2.0
+    llc_miss_per_core: int = 1      #: one outstanding LLC miss per core
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1000.0 / self.freq_mhz
+
+    def validate(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError("CpuConfig.cores must be positive")
+        if self.freq_mhz <= 0:
+            raise ConfigError("CpuConfig.freq_mhz must be positive")
+        if self.cpi_cpu <= 0:
+            raise ConfigError("CpuConfig.cpi_cpu must be positive")
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Non-DRAM power parameters (Section 4.1).
+
+    ``proportionality_idle_frac`` is the idle power of the MC and the DIMM
+    registers expressed as a fraction of their peak power: 0.0 is perfect
+    power proportionality, 1.0 is none. The paper's default is 0.5 and
+    Figure 15 sweeps {0.0, 0.5, 1.0}.
+    """
+
+    mc_peak_w: float = 15.0
+    register_peak_w_per_dimm: float = 0.5
+    pll_w_per_dimm: float = 0.5
+    proportionality_idle_frac: float = 0.5
+    mc_vmin: float = 0.65
+    mc_vmax: float = 1.20
+    #: DIMM (DRAM + PLL/REG) share of total system power at the baseline,
+    #: used to derive the fixed rest-of-system power (40% default;
+    #: Figure 14 sweeps {0.30, 0.40, 0.50}).
+    memory_power_fraction: float = 0.40
+
+    @property
+    def mc_idle_w(self) -> float:
+        return self.mc_peak_w * self.proportionality_idle_frac
+
+    @property
+    def register_idle_w_per_dimm(self) -> float:
+        return self.register_peak_w_per_dimm * self.proportionality_idle_frac
+
+    def validate(self) -> None:
+        if self.mc_peak_w <= 0 or self.register_peak_w_per_dimm <= 0:
+            raise ConfigError("peak powers must be positive")
+        if not 0.0 <= self.proportionality_idle_frac <= 1.0:
+            raise ConfigError("proportionality_idle_frac must lie in [0, 1]")
+        if not 0.0 < self.memory_power_fraction < 1.0:
+            raise ConfigError("memory_power_fraction must lie in (0, 1)")
+        if self.mc_vmin <= 0 or self.mc_vmax <= self.mc_vmin:
+            raise ConfigError("MC voltage range is inconsistent")
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """MemScale OS-policy parameters (Sections 3.2 and 4.1)."""
+
+    #: Maximum allowable per-application CPI degradation (gamma, Eq. 1).
+    cpi_bound: float = 0.10
+    #: OS time quantum / control epoch.
+    epoch_ns: float = 5.0 * NS_PER_MS
+    #: On-line profiling phase at the start of each epoch.
+    profile_ns: float = 300.0 * NS_PER_US
+    #: Frequency transition cost: 512 memory-bus cycles plus 28 ns
+    #: (DLL re-lock through precharge powerdown, Section 4.1). Float so
+    #: scaled configurations can shrink the cost proportionally with the
+    #: epoch, preserving the paper's epoch-to-penalty ratio.
+    transition_cycles: float = 512.0
+    transition_extra_ns: float = 28.0
+
+    def transition_penalty_ns(self, bus_freq_mhz: float) -> float:
+        """Wall-clock cost of a frequency switch at the *departing* frequency."""
+        return self.transition_cycles * (1000.0 / bus_freq_mhz) + self.transition_extra_ns
+
+    def validate(self) -> None:
+        if self.cpi_bound < 0:
+            raise ConfigError("cpi_bound must be non-negative")
+        if self.epoch_ns <= 0 or self.profile_ns <= 0:
+            raise ConfigError("epoch and profile lengths must be positive")
+        if self.profile_ns >= self.epoch_ns:
+            raise ConfigError("profiling phase must be shorter than the epoch")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration bundle.
+
+    Use :func:`default_config` (or :meth:`replace`) rather than constructing
+    sub-configs by hand; ``validate`` is invoked by the simulator before any
+    run.
+    """
+
+    timings: DramTimings = field(default_factory=DramTimings)
+    currents: DramCurrents = field(default_factory=DramCurrents)
+    org: MemoryOrgConfig = field(default_factory=MemoryOrgConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
+    bus_freqs_mhz: Tuple[float, ...] = AVAILABLE_BUS_FREQS_MHZ
+
+    @property
+    def max_bus_freq_mhz(self) -> float:
+        return max(self.bus_freqs_mhz)
+
+    @property
+    def min_bus_freq_mhz(self) -> float:
+        return min(self.bus_freqs_mhz)
+
+    def sorted_bus_freqs(self) -> List[float]:
+        """Candidate bus frequencies, descending (highest first)."""
+        return sorted(self.bus_freqs_mhz, reverse=True)
+
+    def validate(self) -> None:
+        self.timings.validate()
+        self.currents.validate()
+        self.org.validate()
+        self.cpu.validate()
+        self.power.validate()
+        self.policy.validate()
+        if not self.bus_freqs_mhz:
+            raise ConfigError("at least one bus frequency is required")
+        if len(set(self.bus_freqs_mhz)) != len(self.bus_freqs_mhz):
+            raise ConfigError("bus frequencies must be distinct")
+        for f in self.bus_freqs_mhz:
+            if f <= 0:
+                raise ConfigError("bus frequencies must be positive")
+
+    def replace(self, **section_overrides: object) -> "SystemConfig":
+        """Return a copy with whole sections replaced (e.g. ``policy=...``)."""
+        return dataclasses.replace(self, **section_overrides)
+
+    def with_policy(self, **kwargs: object) -> "SystemConfig":
+        return self.replace(policy=dataclasses.replace(self.policy, **kwargs))
+
+    def with_power(self, **kwargs: object) -> "SystemConfig":
+        return self.replace(power=dataclasses.replace(self.power, **kwargs))
+
+    def with_org(self, **kwargs: object) -> "SystemConfig":
+        return self.replace(org=dataclasses.replace(self.org, **kwargs))
+
+    def with_cpu(self, **kwargs: object) -> "SystemConfig":
+        return self.replace(cpu=dataclasses.replace(self.cpu, **kwargs))
+
+    def describe(self) -> Dict[str, object]:
+        """Flat summary used by reports and experiment logs."""
+        return {
+            "cores": self.cpu.cores,
+            "cpu_freq_mhz": self.cpu.freq_mhz,
+            "channels": self.org.channels,
+            "dimms": self.org.total_dimms,
+            "ranks": self.org.total_ranks,
+            "banks": self.org.total_banks,
+            "bus_freqs_mhz": list(self.sorted_bus_freqs()),
+            "cpi_bound": self.policy.cpi_bound,
+            "epoch_ns": self.policy.epoch_ns,
+            "profile_ns": self.policy.profile_ns,
+            "memory_power_fraction": self.power.memory_power_fraction,
+            "proportionality_idle_frac": self.power.proportionality_idle_frac,
+        }
+
+
+def default_config() -> SystemConfig:
+    """The paper's Table 2 configuration."""
+    cfg = SystemConfig()
+    cfg.validate()
+    return cfg
+
+
+def scaled_config(epoch_ns: float = 20.0 * NS_PER_US,
+                  profile_ns: float = 2.0 * NS_PER_US) -> SystemConfig:
+    """Table 2 configuration with epochs shortened for pure-Python runs.
+
+    The paper shows MemScale is insensitive to epoch/profile length
+    (Section 4.2.4); shrinking both keeps every other physical parameter
+    at its published value while making full sweeps tractable. The
+    frequency-transition cost is shrunk by the same factor so that the
+    epoch-to-penalty ratio (0.014% of a 5 ms epoch) is preserved —
+    otherwise transitions would be ~400x more expensive relative to an
+    epoch than in the paper's system. See DESIGN.md, "Substitutions".
+    """
+    base = default_config()
+    ratio = epoch_ns / base.policy.epoch_ns
+    cfg = base.with_policy(
+        epoch_ns=epoch_ns, profile_ns=profile_ns,
+        transition_cycles=base.policy.transition_cycles * ratio,
+        transition_extra_ns=base.policy.transition_extra_ns * ratio)
+    cfg.validate()
+    return cfg

@@ -1,0 +1,50 @@
+"""MemScale's primary contribution: models, policy, and governors."""
+
+from repro.core.baselines import (
+    DECOUPLED_DEVICE_MHZ,
+    STATIC_BASELINE_BUS_MHZ,
+    BaselineGovernor,
+    DecoupledDimmGovernor,
+    StaticFrequencyGovernor,
+)
+from repro.core.energy_model import (
+    EnergyEstimate,
+    EnergyModel,
+    rest_of_system_power_w,
+)
+from repro.core.frequency import (
+    BURST_BUS_CYCLES,
+    MC_PROCESSING_CYCLES,
+    FrequencyLadder,
+    FrequencyPoint,
+)
+from repro.core.extensions import PerChannelMemScaleGovernor
+from repro.core.governor import Governor, MemScaleGovernor
+from repro.core.perf_model import CpiPrediction, PerformanceModel
+from repro.core.policy import FrequencyDecision, MemScalePolicy, PolicyObjective
+from repro.core.power_model import PowerBreakdown, PowerModel
+
+__all__ = [
+    "BURST_BUS_CYCLES",
+    "BaselineGovernor",
+    "CpiPrediction",
+    "DECOUPLED_DEVICE_MHZ",
+    "DecoupledDimmGovernor",
+    "EnergyEstimate",
+    "EnergyModel",
+    "FrequencyDecision",
+    "FrequencyLadder",
+    "FrequencyPoint",
+    "Governor",
+    "MC_PROCESSING_CYCLES",
+    "MemScaleGovernor",
+    "MemScalePolicy",
+    "PerChannelMemScaleGovernor",
+    "PerformanceModel",
+    "PolicyObjective",
+    "PowerBreakdown",
+    "PowerModel",
+    "STATIC_BASELINE_BUS_MHZ",
+    "StaticFrequencyGovernor",
+    "rest_of_system_power_w",
+]

@@ -1,0 +1,97 @@
+"""Comparison energy-management policies (Section 4.2.3).
+
+* **Baseline** — memory always at maximum frequency, no powerdown; the
+  reference all results are normalized against.
+* **Fast-PD / Slow-PD** — today's aggressive MCs: a rank transitions to
+  fast-exit (resp. slow-exit) precharge powerdown the moment its last
+  open bank closes.
+* **Static** — one frequency for MC/channels/DIMMs chosen before the run
+  (the boot-time BIOS setting; the paper picks the frequency that
+  maximizes average savings without violating the target: 467 MHz).
+* **Decoupled DIMMs** [Zheng et al., ISCA'09] — channels at full speed,
+  DRAM devices at a lower static frequency (400 MHz) behind a
+  synchronization buffer whose power the paper optimistically ignores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.frequency import BURST_BUS_CYCLES
+from repro.core.governor import Governor
+from repro.memsim.controller import MemoryController
+from repro.memsim.states import PowerdownMode
+
+#: Static-frequency baseline setting from Section 4.1.
+STATIC_BASELINE_BUS_MHZ = 467.0
+#: DRAM-device frequency of the Decoupled-DIMM baseline (Section 4.1).
+DECOUPLED_DEVICE_MHZ = 400.0
+
+
+class BaselineGovernor(Governor):
+    """Max frequency at all times; optional idle powerdown flavour."""
+
+    def __init__(self, powerdown: PowerdownMode = PowerdownMode.NONE):
+        self._powerdown = powerdown
+        if powerdown is PowerdownMode.FAST_EXIT:
+            self.name = "Fast-PD"
+        elif powerdown is PowerdownMode.SLOW_EXIT:
+            self.name = "Slow-PD"
+        else:
+            self.name = "Baseline"
+
+    @property
+    def powerdown_mode(self) -> PowerdownMode:
+        return self._powerdown
+
+
+class StaticFrequencyGovernor(Governor):
+    """Boot-time static frequency for the whole memory subsystem."""
+
+    def __init__(self, bus_mhz: float = STATIC_BASELINE_BUS_MHZ):
+        self._bus_mhz = bus_mhz
+        self.name = f"Static-{bus_mhz:.0f}MHz"
+
+    @property
+    def bus_mhz(self) -> float:
+        return self._bus_mhz
+
+    def setup(self, controller: MemoryController) -> None:
+        # A boot-time selection: no transition penalty is modeled because
+        # the system never ran at another frequency.
+        point = controller.ladder.at_bus_mhz(self._bus_mhz)
+        controller.set_frequency(point)
+        controller.frozen_until_ns = 0.0
+
+
+class DecoupledDimmGovernor(Governor):
+    """Decoupled DIMMs: full-speed channel, slow static DRAM devices.
+
+    The slower device interface adds a fixed per-access transfer delay
+    (the device-side burst takes ``BURST_BUS_CYCLES`` device cycles while
+    the channel burst stays at full speed), and the device background
+    power is derated to the device clock. Channel, register/PLL, and MC
+    all remain at maximum frequency — exactly the cost structure that
+    lets MemScale beat this baseline (Section 5).
+    """
+
+    def __init__(self, device_mhz: float = DECOUPLED_DEVICE_MHZ):
+        if device_mhz <= 0:
+            raise ValueError("device_mhz must be positive")
+        self._device_mhz = device_mhz
+        self.name = f"Decoupled-{device_mhz:.0f}MHz"
+
+    @property
+    def device_mhz(self) -> float:
+        return self._device_mhz
+
+    def setup(self, controller: MemoryController) -> None:
+        bus_mhz = controller.freq.bus_mhz
+        if self._device_mhz > bus_mhz:
+            raise ValueError("device frequency cannot exceed the channel's")
+        device_burst_ns = BURST_BUS_CYCLES * 1000.0 / self._device_mhz
+        channel_burst_ns = BURST_BUS_CYCLES * 1000.0 / bus_mhz
+        controller.set_device_extra_latency_ns(device_burst_ns - channel_burst_ns)
+
+    def device_bus_mhz(self, controller: MemoryController) -> Optional[float]:
+        return self._device_mhz

@@ -1,0 +1,104 @@
+"""Full-system energy model and SER frequency ranking (Eq. 10).
+
+The System Energy Ratio of a candidate memory frequency is
+
+    SER(f) = (T_f * P_f) / (T_base * P_base)
+
+where ``T_f`` is the predicted execution time of the profiled work at
+``f`` and ``P_f = P_mem(f) + P_rest`` adds a *fixed* rest-of-system power
+to the modeled memory-subsystem power. Minimizing SER is what stops the
+policy from slowing memory past the point where longer runtime costs the
+rest of the server more energy than memory saves (Section 3.3).
+
+``P_rest`` is calibrated from a baseline run so that DIMM power is the
+configured fraction of total system power (40% by default, Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.core.frequency import FrequencyPoint
+from repro.core.perf_model import PerformanceModel
+from repro.core.power_model import PowerBreakdown, PowerModel
+from repro.memsim.counters import CounterDelta
+
+
+def rest_of_system_power_w(avg_dimm_power_w: float,
+                           memory_fraction: float) -> float:
+    """Fixed non-memory power implied by the DIMM share of system power.
+
+    With DIMMs at ``memory_fraction`` of the total, the remaining
+    ``1 - memory_fraction`` belongs to everything else.
+    """
+    if not 0.0 < memory_fraction < 1.0:
+        raise ValueError("memory_fraction must lie in (0, 1)")
+    if avg_dimm_power_w < 0:
+        raise ValueError("avg_dimm_power_w must be non-negative")
+    return avg_dimm_power_w * (1.0 - memory_fraction) / memory_fraction
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Predicted energy terms for one candidate frequency."""
+
+    freq_bus_mhz: float
+    time_scale: float          #: T(candidate) / T(profiled interval)
+    breakdown: PowerBreakdown
+    system_power_w: float
+    ser: float                 #: Eq. 10, relative to the base frequency
+    memory_energy_ratio: float  #: memory-only variant (MemEnergy policy)
+
+
+class EnergyModel:
+    """Ranks candidate frequencies by predicted full-system energy."""
+
+    def __init__(self, config: SystemConfig, rest_power_w: float,
+                 perf_model: Optional[PerformanceModel] = None,
+                 power_model: Optional[PowerModel] = None):
+        config.validate()
+        if rest_power_w < 0:
+            raise ValueError("rest_power_w must be non-negative")
+        self._config = config
+        self.rest_power_w = rest_power_w
+        self._perf = perf_model if perf_model is not None else PerformanceModel(config)
+        self._power = power_model if power_model is not None else PowerModel(config)
+
+    @property
+    def perf_model(self) -> PerformanceModel:
+        return self._perf
+
+    @property
+    def power_model(self) -> PowerModel:
+        return self._power
+
+    def estimate(self, delta: CounterDelta, profiled_freq: FrequencyPoint,
+                 candidate: FrequencyPoint,
+                 base: FrequencyPoint) -> EnergyEstimate:
+        """Predict SER and power for running the profiled work at ``candidate``.
+
+        ``base`` is the SER reference (the paper's nominal frequency: the
+        maximum). All predictions derive from counters profiled at
+        ``profiled_freq``.
+        """
+        scale_cand = self._perf.time_scale(delta, profiled_freq, candidate)
+        scale_base = self._perf.time_scale(delta, profiled_freq, base)
+        p_cand = self._power.predict(delta, candidate, scale_cand)
+        p_base = self._power.predict(delta, base, scale_base)
+        sys_cand = p_cand.memory_w + self.rest_power_w
+        sys_base = p_base.memory_w + self.rest_power_w
+        denom = scale_base * sys_base
+        ser = (scale_cand * sys_cand) / denom if denom > 0 else float("inf")
+        mem_denom = scale_base * p_base.memory_w
+        mem_ratio = ((scale_cand * p_cand.memory_w) / mem_denom
+                     if mem_denom > 0 else float("inf"))
+        return EnergyEstimate(
+            freq_bus_mhz=candidate.bus_mhz,
+            time_scale=scale_cand,
+            breakdown=p_cand,
+            system_power_w=sys_cand,
+            ser=ser,
+            memory_energy_ratio=mem_ratio,
+        )

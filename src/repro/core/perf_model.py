@@ -1,0 +1,174 @@
+"""Counter-based performance model (Section 3.3, Eqs. 2-9).
+
+Predicts each application's CPI at any candidate memory frequency from
+one profiling interval's performance counters, sidestepping the
+intractable transfer-blocking queueing network (Figure 4) with the
+transactions-outstanding accumulators:
+
+* ``xi_bus = 1 + CTO/CTC`` and ``xi_bank = 1 + BTO/BTC`` estimate the
+  total work (queue ahead plus the request itself) a new arrival faces at
+  the channel and bank servers (Eqs. 7-8; the "+1" is request *k* itself,
+  which the paper folds into its summation);
+* the average DRAM device time comes from the row-buffer counters
+  (Eq. 6) and is frequency-independent (array timings are fixed in ns);
+* MC processing and burst transfer scale with MC/bus frequency;
+* ``E[TPI_mem] = xi_bank * (S_bank + xi_bus * S_bus)`` (Eq. 9), and
+  per-core CPI follows from the miss fraction alpha = TLM/TIC (Eq. 3).
+
+The xi values measured at the profiling frequency are assumed to hold at
+every candidate frequency — the paper's approximation, whose residual
+error the slack mechanism absorbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.frequency import FrequencyPoint
+from repro.memsim.counters import CounterDelta
+
+
+@dataclass(frozen=True)
+class CpiPrediction:
+    """Per-core CPI predictions at one candidate frequency."""
+
+    freq_bus_mhz: float
+    cpi: np.ndarray          #: predicted CPI per core
+    tpi_mem_ns: float        #: expected memory time per LLC miss
+    device_time_ns: float    #: Eq. 6 expected device access time
+    xi_bank: float
+    xi_bus: float
+
+
+class PerformanceModel:
+    """Implements Eqs. 2-9 on top of a :class:`CounterDelta`.
+
+    With ``scale_queues=True`` (the default), the queueing terms measured
+    at the profiling frequency are corrected when predicting at another
+    frequency: the outstanding work an arrival sees is proportional to
+    how long requests reside in the servers, so ``xi - 1`` is scaled by
+    the ratio of total service times. This implements the refinement the
+    paper sketches for deep queues ("profiling at one more frequency and
+    interpolating") analytically; disable it to get the paper's plain
+    constant-xi approximation.
+    """
+
+    def __init__(self, config: SystemConfig, scale_queues: bool = True):
+        config.validate()
+        self._config = config
+        self._tpi_cpu_ns = config.cpu.cpi_cpu * config.cpu.cycle_ns
+        self._scale_queues = scale_queues
+
+    @property
+    def tpi_cpu_ns(self) -> float:
+        """Fixed wall-clock time per non-missing instruction."""
+        return self._tpi_cpu_ns
+
+    # -- Eq. 6: expected device access time --------------------------------
+
+    def device_time_ns(self, delta: CounterDelta,
+                       pd_exit_ns: Optional[float] = None) -> float:
+        """Average array-access latency from the row-buffer counters."""
+        t = self._config.timings
+        if pd_exit_ns is None:
+            pd_exit_ns = t.t_xp_ns
+        accesses = delta.rbhc + delta.cbmc + delta.obmc
+        if accesses <= 0:
+            # No accesses profiled: fall back to a closed-bank access,
+            # the common case under closed-page management.
+            return t.t_rcd_ns + t.t_cl_ns
+        t_hit = t.t_cl_ns * delta.rbhc
+        t_cb = (t.t_rcd_ns + t.t_cl_ns) * delta.cbmc
+        t_ob = (t.t_rp_ns + t.t_rcd_ns + t.t_cl_ns) * delta.obmc
+        t_pd = pd_exit_ns * delta.epdc
+        return (t_hit + t_cb + t_ob + t_pd) / accesses
+
+    # -- queueing multipliers -------------------------------------------------
+
+    @staticmethod
+    def xi_bank(delta: CounterDelta) -> float:
+        """Expected bank-server multiplicity seen by an arrival (>= 1)."""
+        return 1.0 + delta.xi_bank
+
+    @staticmethod
+    def xi_bus(delta: CounterDelta) -> float:
+        """Expected channel-server multiplicity seen by an arrival (>= 1)."""
+        return 1.0 + delta.xi_bus
+
+    # -- Eqs. 5, 9: memory time per miss ----------------------------------------
+
+    def s_bank_ns(self, delta: CounterDelta, freq: FrequencyPoint,
+                  pd_exit_ns: Optional[float] = None) -> float:
+        """E[S_bank]: MC processing plus device time, no queueing (Eq. 5)."""
+        return freq.mc_latency_ns + self.device_time_ns(delta, pd_exit_ns)
+
+    def _queue_scale(self, delta: CounterDelta, freq: FrequencyPoint,
+                     profiled_freq: Optional[FrequencyPoint],
+                     pd_exit_ns: Optional[float]) -> float:
+        """Ratio adjusting measured xi terms to the candidate frequency."""
+        if not self._scale_queues or profiled_freq is None:
+            return 1.0
+        s_prof = (self.s_bank_ns(delta, profiled_freq, pd_exit_ns)
+                  + profiled_freq.burst_ns)
+        s_cand = self.s_bank_ns(delta, freq, pd_exit_ns) + freq.burst_ns
+        return s_cand / s_prof if s_prof > 0 else 1.0
+
+    def tpi_mem_ns(self, delta: CounterDelta, freq: FrequencyPoint,
+                   pd_exit_ns: Optional[float] = None,
+                   profiled_freq: Optional[FrequencyPoint] = None) -> float:
+        """E[TPI_mem] at ``freq`` (Eq. 9)."""
+        s_bank = self.s_bank_ns(delta, freq, pd_exit_ns)
+        s_bus = freq.burst_ns
+        scale = self._queue_scale(delta, freq, profiled_freq, pd_exit_ns)
+        xi_bank = 1.0 + delta.xi_bank * scale
+        xi_bus = 1.0 + delta.xi_bus * scale
+        return xi_bank * (s_bank + xi_bus * s_bus)
+
+    # -- Eq. 3: per-core CPI -------------------------------------------------------
+
+    def predict(self, delta: CounterDelta, freq: FrequencyPoint,
+                pd_exit_ns: Optional[float] = None,
+                profiled_freq: Optional[FrequencyPoint] = None
+                ) -> CpiPrediction:
+        """Predicted per-core CPI if the profiled interval ran at ``freq``.
+
+        ``profiled_freq`` is the frequency the counters were collected at;
+        when given (and queue scaling is enabled) the xi terms are
+        adjusted to the candidate frequency.
+        """
+        tpi_mem = self.tpi_mem_ns(delta, freq, pd_exit_ns, profiled_freq)
+        cycle = self._config.cpu.cycle_ns
+        n = len(delta.tic)
+        cpi = np.empty(n, dtype=np.float64)
+        for core in range(n):
+            alpha = delta.alpha(core)
+            cpi[core] = (self._tpi_cpu_ns + alpha * tpi_mem) / cycle
+        return CpiPrediction(
+            freq_bus_mhz=freq.bus_mhz, cpi=cpi, tpi_mem_ns=tpi_mem,
+            device_time_ns=self.device_time_ns(delta, pd_exit_ns),
+            xi_bank=self.xi_bank(delta), xi_bus=self.xi_bus(delta),
+        )
+
+    def time_scale(self, delta: CounterDelta, from_freq: FrequencyPoint,
+                   to_freq: FrequencyPoint,
+                   pd_exit_ns: Optional[float] = None) -> float:
+        """Predicted execution-time ratio T(to) / T(from) for the mix.
+
+        Instruction-weighted mean of the per-core CPI ratios: cores with
+        more committed work dominate the epoch's wall-clock length.
+        """
+        at_from = self.predict(delta, from_freq, pd_exit_ns,
+                               profiled_freq=from_freq).cpi
+        at_to = self.predict(delta, to_freq, pd_exit_ns,
+                             profiled_freq=from_freq).cpi
+        weights = np.asarray(delta.tic, dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            return 1.0
+        ratios = np.divide(at_to, at_from,
+                           out=np.ones_like(at_to), where=at_from > 0)
+        return float((ratios * weights).sum() / total)

@@ -1,0 +1,321 @@
+"""Memory-subsystem power model (Micron-calculator style, Section 2.1).
+
+Computes the power breakdown of Figure 2 from the performance-counter
+activity of an interval:
+
+* **background** — standby/powerdown currents of every DRAM chip, chosen
+  by the per-rank state-time integrals (PTC/PTCKEL/ATCKEL counters), with
+  the frequency-dependent portion derated linearly with bus frequency;
+* **refresh** — IDD5 bursts, from the refresh command count;
+* **activate/precharge** — per-activation energy (POCC count);
+* **read/write** — IDD4 minus standby while the channel bursts;
+* **termination** — ODT power in non-target ranks during bursts;
+* **PLL/register** — per-DIMM, register power linear in utilization,
+  PLL fixed; both scale linearly with channel frequency;
+* **memory controller** — linear in utilization between idle and peak,
+  scaled by V^2*f relative to the maximum operating point (MC DVFS).
+
+The same model serves two roles: *measuring* the energy of a simulated
+interval, and *predicting* power at a different candidate frequency for
+the OS policy (Section 3.3), where small errors are later corrected by
+the slack mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.frequency import FrequencyLadder, FrequencyPoint
+from repro.memsim.counters import CounterDelta
+from repro.memsim.states import RankPowerState
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power (watts) of the memory subsystem over an interval."""
+
+    background_w: float
+    refresh_w: float
+    actpre_w: float
+    rdwr_w: float
+    termination_w: float
+    pll_reg_w: float
+    mc_w: float
+
+    @property
+    def dram_w(self) -> float:
+        """All power dissipated in the DRAM chips."""
+        return (self.background_w + self.refresh_w + self.actpre_w
+                + self.rdwr_w + self.termination_w)
+
+    @property
+    def dimm_w(self) -> float:
+        """DRAM chips plus the DIMM's register and PLL devices."""
+        return self.dram_w + self.pll_reg_w
+
+    @property
+    def memory_w(self) -> float:
+        """The whole memory subsystem: DIMMs plus memory controller."""
+        return self.dimm_w + self.mc_w
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        return PowerBreakdown(*(getattr(self, f) * factor for f in (
+            "background_w", "refresh_w", "actpre_w", "rdwr_w",
+            "termination_w", "pll_reg_w", "mc_w")))
+
+
+class PowerModel:
+    """Evaluates :class:`PowerBreakdown` for measured or predicted activity."""
+
+    def __init__(self, config: SystemConfig):
+        config.validate()
+        self._config = config
+        self._ladder = FrequencyLadder(config)
+        self._f_max = self._ladder.fastest
+        cur = config.currents
+        t = config.timings
+        chips = config.org.chips_per_rank
+        # Per-rank activate/precharge energy at nominal currents: the IDD0
+        # envelope over one row cycle minus the standby floor underneath it.
+        e_act_chip = cur.vdd * (
+            cur.idd0 * t.t_rc_ns
+            - (cur.idd3n * t.t_ras_ns + cur.idd2n * (t.t_rc_ns - t.t_ras_ns))
+        ) * 1e-9  # ns -> s, yielding joules
+        self._e_actpre_rank_j = max(0.0, e_act_chip) * chips
+        # Per-rank refresh energy: IDD5 burst above precharge standby.
+        self._e_refresh_rank_j = (cur.vdd * (cur.idd5 - cur.idd2n)
+                                  * t.t_rfc_ns * 1e-9) * chips
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def ladder(self) -> FrequencyLadder:
+        return self._ladder
+
+    # -- frequency derating -------------------------------------------------
+
+    def _freq_derate(self, bus_mhz: float) -> float:
+        """Linear derating of clocked standby currents with bus frequency."""
+        cur = self._config.currents
+        ratio = bus_mhz / self._f_max.bus_mhz
+        return cur.static_fraction + (1.0 - cur.static_fraction) * ratio
+
+    def mc_voltage(self, freq: FrequencyPoint) -> float:
+        return freq.mc_voltage
+
+    # -- component models -----------------------------------------------------
+
+    def background_power_w(self, delta: CounterDelta, bus_mhz: float) -> float:
+        """Standby/powerdown background power across all ranks."""
+        if delta.interval_ns <= 0:
+            return 0.0
+        return sum(self._rank_background_w(delta, rank, bus_mhz)
+                   for rank in range(delta.rank_state_ns.shape[0]))
+
+    def refresh_power_w(self, delta: CounterDelta) -> float:
+        if delta.interval_ns <= 0:
+            return 0.0
+        count = float(delta.refreshes.sum())
+        return count * self._e_refresh_rank_j / (delta.interval_ns * 1e-9)
+
+    def actpre_power_w(self, delta: CounterDelta) -> float:
+        if delta.interval_ns <= 0:
+            return 0.0
+        return delta.pocc * self._e_actpre_rank_j / (delta.interval_ns * 1e-9)
+
+    def rdwr_power_w(self, delta: CounterDelta) -> float:
+        """IDD4 burst power above standby, weighted by channel busy time."""
+        if delta.interval_ns <= 0:
+            return 0.0
+        cur = self._config.currents
+        chips = self._config.org.chips_per_rank
+        total_busy = float(delta.channel_busy_ns.sum())
+        reads = float(delta.channel_reads.sum())
+        writes = float(delta.channel_writes.sum())
+        ops = reads + writes
+        if ops <= 0 or total_busy <= 0:
+            return 0.0
+        read_share = reads / ops
+        p_read = (cur.idd4r - cur.idd3n) * cur.vdd * chips
+        p_write = (cur.idd4w - cur.idd3n) * cur.vdd * chips
+        p_burst = read_share * p_read + (1.0 - read_share) * p_write
+        return p_burst * (total_busy / delta.interval_ns)
+
+    def termination_power_w(self, delta: CounterDelta) -> float:
+        """ODT power in the channel's other ranks while a burst is driven."""
+        if delta.interval_ns <= 0:
+            return 0.0
+        cur = self._config.currents
+        other_ranks = self._config.org.ranks_per_channel - 1
+        if other_ranks <= 0:
+            return 0.0
+        reads = float(delta.channel_reads.sum())
+        writes = float(delta.channel_writes.sum())
+        ops = reads + writes
+        total_busy = float(delta.channel_busy_ns.sum())
+        if ops <= 0 or total_busy <= 0:
+            return 0.0
+        read_share = reads / ops
+        p_term = (read_share * cur.termination_w_read
+                  + (1.0 - read_share) * cur.termination_w_write)
+        return p_term * (total_busy / delta.interval_ns)
+
+    def pll_reg_power_w(self, utilization: float, bus_mhz: float) -> float:
+        """Register + PLL power for every DIMM, linear in channel frequency."""
+        p = self._config.power
+        ratio = bus_mhz / self._f_max.bus_mhz
+        reg = (p.register_idle_w_per_dimm
+               + (p.register_peak_w_per_dimm - p.register_idle_w_per_dimm)
+               * min(1.0, max(0.0, utilization)))
+        pll = p.pll_w_per_dimm
+        return (reg + pll) * ratio * self._config.org.total_dimms
+
+    def mc_power_w(self, utilization: float, freq: FrequencyPoint) -> float:
+        """MC power: utilization-linear, then scaled by V^2 * f (DVFS)."""
+        p = self._config.power
+        base = (p.mc_idle_w + (p.mc_peak_w - p.mc_idle_w)
+                * min(1.0, max(0.0, utilization)))
+        vf_ratio = ((freq.mc_voltage ** 2) * freq.mc_mhz
+                    / ((self._f_max.mc_voltage ** 2) * self._f_max.mc_mhz))
+        return base * vf_ratio
+
+    # -- top-level entry points --------------------------------------------------
+
+    def measure(self, delta: CounterDelta, freq: FrequencyPoint,
+                device_bus_mhz: Optional[float] = None,
+                channel_bus_mhz: Optional[Sequence[float]] = None
+                ) -> PowerBreakdown:
+        """Power breakdown of a simulated interval.
+
+        ``device_bus_mhz`` decouples the DRAM-device clock from the channel
+        clock (Decoupled-DIMM baseline); by default they are equal.
+        ``channel_bus_mhz`` gives per-channel frequencies (per-channel DFS
+        extension): each channel's DIMM background and register/PLL power
+        is then derated by its own clock.
+        """
+        util = delta.mean_channel_utilization
+        if channel_bus_mhz is not None:
+            org = self._config.org
+            if len(channel_bus_mhz) != org.channels:
+                raise ValueError("channel_bus_mhz must cover every channel")
+            background = 0.0
+            for rank in range(org.total_ranks):
+                ch = rank // org.ranks_per_channel
+                background += self._rank_background_w(
+                    delta, rank, channel_bus_mhz[ch])
+            # pll_reg_power_w covers all DIMMs; dividing by the channel
+            # count yields one channel's share (DIMMs/channel is uniform).
+            pll_reg = sum(
+                self.pll_reg_power_w(delta.channel_utilization(ch), mhz)
+                / self._config.org.channels
+                for ch, mhz in enumerate(channel_bus_mhz)
+            )
+            return PowerBreakdown(
+                background_w=background,
+                refresh_w=self.refresh_power_w(delta),
+                actpre_w=self.actpre_power_w(delta),
+                rdwr_w=self.rdwr_power_w(delta),
+                termination_w=self.termination_power_w(delta),
+                pll_reg_w=pll_reg,
+                mc_w=self.mc_power_w(util, freq),
+            )
+        dev_mhz = device_bus_mhz if device_bus_mhz is not None else freq.bus_mhz
+        return PowerBreakdown(
+            background_w=self.background_power_w(delta, dev_mhz),
+            refresh_w=self.refresh_power_w(delta),
+            actpre_w=self.actpre_power_w(delta),
+            rdwr_w=self.rdwr_power_w(delta),
+            termination_w=self.termination_power_w(delta),
+            pll_reg_w=self.pll_reg_power_w(util, freq.bus_mhz),
+            mc_w=self.mc_power_w(util, freq),
+        )
+
+    def _rank_background_w(self, delta: CounterDelta, rank: int,
+                           bus_mhz: float) -> float:
+        """Background power of one rank at its channel's clock."""
+        cur = self._config.currents
+        chips = self._config.org.chips_per_rank
+        derate = self._freq_derate(bus_mhz)
+        state_current = {
+            RankPowerState.ACTIVE_STANDBY: cur.idd3n,
+            RankPowerState.PRECHARGE_STANDBY: cur.idd2n,
+            RankPowerState.ACTIVE_POWERDOWN: cur.idd3p,
+            RankPowerState.PRECHARGE_POWERDOWN: cur.idd2p,
+        }
+        total = 0.0
+        for state, idd in state_current.items():
+            frac = delta.rank_state_fraction(rank, state)
+            total += frac * idd * cur.vdd * chips * derate
+        return total
+
+    def predict(self, delta: CounterDelta, candidate: FrequencyPoint,
+                time_scale: float) -> PowerBreakdown:
+        """Predict the breakdown if the profiled interval ran at ``candidate``.
+
+        ``time_scale`` is the performance model's predicted execution-time
+        ratio T(candidate) / T(profiled). Event *counts* (activations,
+        accesses, refreshes-per-second) are held fixed; busy time is
+        recomputed from the candidate burst length; state-time fractions
+        keep their absolute active time (device operations have fixed
+        wall-clock duration) while standby absorbs the change in interval
+        length.
+        """
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        if delta.interval_ns <= 0:
+            return self.measure(delta, candidate)
+        interval = delta.interval_ns * time_scale
+        accesses = float(delta.channel_reads.sum() + delta.channel_writes.sum())
+        busy_ns = accesses * candidate.burst_ns
+        util = busy_ns / (interval * max(1, len(delta.channel_busy_ns)))
+
+        # Background: hold absolute active/powerdown time, stretch standby.
+        cur = self._config.currents
+        chips = self._config.org.chips_per_rank
+        derate = self._freq_derate(candidate.bus_mhz)
+        total_bg = 0.0
+        for rank in range(delta.rank_state_ns.shape[0]):
+            t_act = delta.rank_state_ns[rank].copy()
+            # index order matches counters._STATE_ORDER
+            act_stby, pre_stby, act_pd, pre_pd = t_act
+            fixed = act_stby + act_pd + pre_pd
+            pre_stby_new = max(0.0, interval - fixed)
+            times = (act_stby, pre_stby_new, act_pd, pre_pd)
+            currents = (cur.idd3n, cur.idd2n, cur.idd3p, cur.idd2p)
+            for t_ns, idd in zip(times, currents):
+                total_bg += (t_ns / interval) * idd * cur.vdd * chips * derate
+
+        refresh_w = (float(delta.refreshes.sum()) * time_scale
+                     * self._e_refresh_rank_j / (interval * 1e-9))
+        actpre_w = delta.pocc * self._e_actpre_rank_j / (interval * 1e-9)
+
+        reads = float(delta.channel_reads.sum())
+        writes = float(delta.channel_writes.sum())
+        ops = reads + writes
+        if ops > 0:
+            read_share = reads / ops
+            p_read = (cur.idd4r - cur.idd3n) * cur.vdd * chips
+            p_write = (cur.idd4w - cur.idd3n) * cur.vdd * chips
+            p_burst = read_share * p_read + (1.0 - read_share) * p_write
+            rdwr_w = p_burst * (busy_ns / interval)
+            other_ranks = self._config.org.ranks_per_channel - 1
+            p_term = (read_share * cur.termination_w_read
+                      + (1.0 - read_share) * cur.termination_w_write)
+            term_w = p_term * (busy_ns / interval) if other_ranks > 0 else 0.0
+        else:
+            rdwr_w = 0.0
+            term_w = 0.0
+
+        return PowerBreakdown(
+            background_w=total_bg,
+            refresh_w=refresh_w,
+            actpre_w=actpre_w,
+            rdwr_w=rdwr_w,
+            termination_w=term_w,
+            pll_reg_w=self.pll_reg_power_w(util, candidate.bus_mhz),
+            mc_w=self.mc_power_w(util, candidate),
+        )

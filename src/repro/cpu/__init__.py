@@ -1,0 +1,31 @@
+"""Trace-driven CPU substrate: cores, traces, and synthetic workloads."""
+
+from repro.cpu.core_model import Core, CpuCluster
+from repro.cpu.phases import FLAT, Phase, PhaseSchedule
+from repro.cpu.trace import CoreTrace, WorkloadTrace
+from repro.cpu.workloads import (
+    APP_PROFILES,
+    MIXES,
+    AppProfile,
+    MixSpec,
+    TraceGenerator,
+    generate_workload,
+    mix_names,
+)
+
+__all__ = [
+    "APP_PROFILES",
+    "AppProfile",
+    "Core",
+    "CoreTrace",
+    "CpuCluster",
+    "FLAT",
+    "MIXES",
+    "MixSpec",
+    "Phase",
+    "PhaseSchedule",
+    "TraceGenerator",
+    "WorkloadTrace",
+    "generate_workload",
+    "mix_names",
+]

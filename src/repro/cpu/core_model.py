@@ -1,0 +1,208 @@
+"""Trace-driven in-order core model.
+
+Each core replays its :class:`~repro.cpu.trace.CoreTrace` against the
+memory controller, matching the processor model of Section 3.3: in-order
+execution with a fixed time per CPU instruction and exactly one
+outstanding LLC miss — so every nanosecond of extra memory latency shows
+up directly in execution time. Writebacks are posted asynchronously and
+never block the core.
+
+When a core exhausts its trace it wraps around (the replay loops), so
+fixed-duration simulations always have live traffic; per-core committed
+instruction counts keep growing monotonically either way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CpuConfig
+from repro.cpu.trace import CoreTrace
+from repro.memsim.controller import MemoryController
+from repro.memsim.engine import EventEngine
+from repro.memsim.request import MemRequest
+
+
+class Core:
+    """One in-order core replaying a trace."""
+
+    def __init__(self, engine: EventEngine, controller: MemoryController,
+                 cpu: CpuConfig, trace: CoreTrace, core_id: int,
+                 loop_trace: bool = True):
+        if len(trace) == 0:
+            raise ValueError(f"core {core_id}: empty trace")
+        self._engine = engine
+        self._controller = controller
+        self._cpu = cpu
+        self._trace = trace
+        self.core_id = core_id
+        self.app_id = trace.app_id
+        self.app_name = trace.app_name
+        self._loop = loop_trace
+        self._cursor = 0
+        self._passes = 0
+        self.instructions_committed = 0
+        self.misses_issued = 0
+        self.blocked = False
+        self.finished = False
+        self._started = False
+        self.target_instructions: Optional[int] = None
+        self.time_at_target_ns: Optional[float] = None
+        # progressive-commit state for the gap currently being executed
+        self._gap_start_ns = 0.0
+        self._gap_total = 0
+        self._gap_done = 0
+
+    @property
+    def trace_passes(self) -> int:
+        """Complete passes through the trace so far."""
+        return self._passes
+
+    @property
+    def instruction_time_ns(self) -> float:
+        """Wall-clock time per committed CPU instruction."""
+        return self._cpu.cpi_cpu * self._cpu.cycle_ns
+
+    def set_target(self, instructions: int) -> None:
+        """Record the time at which this core commits its N-th instruction.
+
+        Mirrors the paper's measurement window: each application's CPI is
+        evaluated over its first N instructions even though replay
+        continues until the slowest core finishes.
+        """
+        if instructions <= 0:
+            raise ValueError("target must be positive")
+        self.target_instructions = instructions
+        self._check_target()
+
+    @property
+    def reached_target(self) -> bool:
+        return self.time_at_target_ns is not None
+
+    #: Optional callback fired once, when the target is first reached.
+    on_target_reached = None
+
+    def _check_target(self) -> None:
+        if (self.target_instructions is not None
+                and self.time_at_target_ns is None
+                and self.instructions_committed >= self.target_instructions):
+            self.time_at_target_ns = self._engine.now
+            if self.on_target_reached is not None:
+                self.on_target_reached()
+
+    def start(self) -> None:
+        """Begin replay; the first miss issues after its leading gap."""
+        if self._started:
+            raise RuntimeError(f"core {self.core_id} already started")
+        self._started = True
+        self._schedule_next_issue()
+
+    # -- replay loop -----------------------------------------------------
+
+    def _schedule_next_issue(self) -> None:
+        if self._cursor >= len(self._trace):
+            if not self._loop:
+                self.finished = True
+                return
+            self._cursor = 0
+            self._passes += 1
+        gap = int(self._trace.gaps[self._cursor])
+        self._gap_start_ns = self._engine.now
+        self._gap_total = gap
+        self._gap_done = 0
+        compute_ns = gap * self.instruction_time_ns
+        self._engine.schedule(compute_ns, lambda: self._issue(gap))
+
+    def sync_committed(self) -> None:
+        """Commit the instructions of the in-progress compute gap.
+
+        Called before counter snapshots so per-interval TIC reflects
+        actual progress instead of lumping whole gaps at miss-issue time
+        (which would make short profiling windows noisy).
+        """
+        if self.blocked or self.finished or self._gap_total <= 0:
+            return
+        elapsed = self._engine.now - self._gap_start_ns
+        done = min(self._gap_total, int(elapsed / self.instruction_time_ns))
+        if done > self._gap_done:
+            delta = done - self._gap_done
+            self._gap_done = done
+            self.instructions_committed += delta
+            self._controller.counters.commit_instructions(self.core_id, delta)
+            self._check_target()
+
+    def _issue(self, gap: int) -> None:
+        """Commit the rest of the compute gap, then issue the LLC miss."""
+        remaining = gap - self._gap_done
+        self._gap_done = gap
+        if remaining > 0:
+            self.instructions_committed += remaining
+            self._controller.counters.commit_instructions(self.core_id, remaining)
+        self._check_target()
+        i = self._cursor
+        self._cursor += 1
+        read_addr = int(self._trace.read_addrs[i])
+        wb_addr = int(self._trace.wb_addrs[i])
+        if wb_addr >= 0:
+            self._controller.submit_writeback(wb_addr, core_id=self.core_id,
+                                              app_id=self.app_id)
+        self._controller.counters.record_llc_miss(self.core_id)
+        self.misses_issued += 1
+        self.blocked = True
+        self._controller.submit_read(read_addr, core_id=self.core_id,
+                                     app_id=self.app_id,
+                                     on_complete=self._on_miss_complete)
+
+    def _on_miss_complete(self, _request: MemRequest) -> None:
+        # The missing instruction itself commits when its data returns.
+        self.blocked = False
+        self.instructions_committed += 1
+        self._controller.counters.commit_instructions(self.core_id, 1)
+        self._check_target()
+        self._schedule_next_issue()
+
+
+class CpuCluster:
+    """All cores of the simulated server."""
+
+    def __init__(self, engine: EventEngine, controller: MemoryController,
+                 cpu: CpuConfig, traces, loop_traces: bool = True):
+        if len(traces) == 0:
+            raise ValueError("at least one core trace is required")
+        self.cores = [
+            Core(engine, controller, cpu, trace, core_id=i,
+                 loop_trace=loop_traces)
+            for i, trace in enumerate(traces)
+        ]
+        self.reached_count = 0
+        for core in self.cores:
+            core.on_target_reached = self._on_core_reached
+
+    def _on_core_reached(self) -> None:
+        self.reached_count += 1
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def start(self) -> None:
+        for core in self.cores:
+            core.start()
+
+    def min_instructions_committed(self) -> int:
+        """Progress of the slowest core (the paper's termination criterion)."""
+        return min(core.instructions_committed for core in self.cores)
+
+    def set_target(self, instructions: int) -> None:
+        for core in self.cores:
+            core.set_target(instructions)
+
+    def sync_committed(self) -> None:
+        """Flush partially-executed compute gaps into the counters."""
+        for core in self.cores:
+            core.sync_committed()
+
+    def all_reached_target(self) -> bool:
+        return all(core.reached_target for core in self.cores)
+
+    def all_finished(self) -> bool:
+        return all(core.finished for core in self.cores)

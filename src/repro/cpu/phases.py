@@ -1,0 +1,88 @@
+"""Application phase behaviour.
+
+SPEC applications exhibit phases with very different memory intensity;
+the paper's MID3 timeline (Figure 7) hinges on apsi's "massive phase
+change" mid-run. A :class:`PhaseSchedule` describes how an application's
+miss rate varies over its instruction stream as a piecewise-constant
+multiplier of its base RPKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase.
+
+    ``fraction``   -- share of the app's total instructions in this phase
+    ``intensity``  -- RPKI multiplier relative to the app's base RPKI
+    """
+
+    fraction: float
+    intensity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"phase fraction must be in (0, 1], got {self.fraction}")
+        if self.intensity < 0.0:
+            raise ValueError(f"phase intensity must be non-negative, got {self.intensity}")
+
+
+class PhaseSchedule:
+    """A normalized sequence of phases covering an app's whole run.
+
+    Normalization rescales intensities so that the *instruction-weighted*
+    mean intensity is exactly 1.0 — the app's base RPKI then remains its
+    true average miss rate regardless of the phase structure, which keeps
+    mix-level RPKI calibration (Table 1) independent of phases.
+    """
+
+    def __init__(self, phases: Sequence[Phase]):
+        if not phases:
+            raise ValueError("at least one phase is required")
+        total = sum(p.fraction for p in phases)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"phase fractions must sum to 1.0, got {total}")
+        mean = sum(p.fraction * p.intensity for p in phases)
+        if mean <= 0.0:
+            raise ValueError("phase schedule has zero mean intensity")
+        self._phases: Tuple[Phase, ...] = tuple(
+            Phase(p.fraction, p.intensity / mean) for p in phases
+        )
+
+    @property
+    def phases(self) -> Tuple[Phase, ...]:
+        return self._phases
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def segments(self, total_instructions: int) -> List[Tuple[int, float]]:
+        """Split ``total_instructions`` into (instructions, intensity) runs.
+
+        Rounding error is folded into the final segment so the counts sum
+        exactly to ``total_instructions``.
+        """
+        if total_instructions <= 0:
+            raise ValueError("total_instructions must be positive")
+        out: List[Tuple[int, float]] = []
+        assigned = 0
+        for i, phase in enumerate(self._phases):
+            if i == len(self._phases) - 1:
+                count = total_instructions - assigned
+            else:
+                count = int(round(phase.fraction * total_instructions))
+                count = min(count, total_instructions - assigned)
+            if count > 0:
+                out.append((count, phase.intensity))
+            assigned += count
+        if not out:
+            out.append((total_instructions, self._phases[0].intensity))
+        return out
+
+
+#: A flat, single-phase schedule (the default for most applications).
+FLAT = PhaseSchedule([Phase(1.0, 1.0)])

@@ -1,0 +1,138 @@
+"""Trace statistics and inspection.
+
+Summarizes the properties of a trace that determine memory-system
+behaviour: miss rate, burstiness, spatial locality, and how the access
+stream spreads over channels/banks under a given address mapping. Used
+to validate synthetic traces against the Table 1 targets and to debug
+custom workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import MemoryOrgConfig
+from repro.cpu.trace import CoreTrace, WorkloadTrace
+from repro.memsim.address import AddressMapper
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one core's trace."""
+
+    app_name: str
+    instructions: int
+    misses: int
+    writebacks: int
+    rpki: float
+    wpki: float
+    mean_gap: float          #: mean instructions between misses
+    gap_cv: float            #: coefficient of variation (burstiness)
+    sequential_fraction: float  #: misses at previous address + 1
+    unique_lines: int
+    channel_spread: Dict[int, float]  #: fraction of misses per channel
+    bank_entropy: float      #: normalized entropy of bank usage [0, 1]
+
+
+def core_stats(trace: CoreTrace, org: MemoryOrgConfig) -> TraceStats:
+    """Compute :class:`TraceStats` for one core trace."""
+    mapper = AddressMapper(org)
+    gaps = np.asarray(trace.gaps, dtype=np.float64)
+    addrs = np.asarray(trace.read_addrs, dtype=np.int64)
+    n = len(addrs)
+    if n == 0:
+        raise ValueError("cannot summarize an empty trace")
+
+    mean_gap = float(gaps.mean())
+    gap_cv = float(gaps.std() / mean_gap) if mean_gap > 0 else 0.0
+    diffs = np.diff(addrs)
+    seq_frac = float((diffs == 1).mean()) if n > 1 else 0.0
+
+    channels = addrs % org.channels
+    channel_spread = {
+        int(c): float((channels == c).mean()) for c in range(org.channels)
+    }
+
+    # bank usage entropy over (channel, rank, bank) triples
+    bank_ids = np.empty(n, dtype=np.int64)
+    ranks_pc = org.ranks_per_channel
+    banks_pr = org.banks_per_rank
+    locs = addrs
+    ch = locs % org.channels
+    rest = locs // org.channels
+    bank = rest % banks_pr
+    rest = rest // banks_pr
+    rank = rest % ranks_pc
+    bank_ids = (ch * ranks_pc + rank) * banks_pr + bank
+    counts = np.bincount(bank_ids % org.total_banks,
+                         minlength=org.total_banks).astype(np.float64)
+    probs = counts / counts.sum()
+    nonzero = probs[probs > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+    max_entropy = np.log(org.total_banks)
+    bank_entropy = entropy / max_entropy if max_entropy > 0 else 0.0
+
+    return TraceStats(
+        app_name=trace.app_name,
+        instructions=trace.total_instructions,
+        misses=trace.total_reads,
+        writebacks=trace.total_writebacks,
+        rpki=trace.rpki,
+        wpki=trace.wpki,
+        mean_gap=mean_gap,
+        gap_cv=gap_cv,
+        sequential_fraction=seq_frac,
+        unique_lines=int(len(np.unique(addrs))),
+        channel_spread=channel_spread,
+        bank_entropy=bank_entropy,
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Aggregate statistics of a multiprogrammed mix."""
+
+    name: str
+    cores: int
+    rpki: float
+    wpki: float
+    per_app: Dict[str, TraceStats]
+
+    @property
+    def most_intensive_app(self) -> str:
+        return max(self.per_app, key=lambda a: self.per_app[a].rpki)
+
+
+def workload_stats(workload: WorkloadTrace,
+                   org: MemoryOrgConfig) -> WorkloadStats:
+    """Aggregate statistics for a mix (one representative per app)."""
+    per_app: Dict[str, TraceStats] = {}
+    for app in workload.app_names:
+        core_index = workload.cores_of_app(app)[0]
+        per_app[app] = core_stats(workload.cores[core_index], org)
+    return WorkloadStats(
+        name=workload.name,
+        cores=len(workload),
+        rpki=workload.rpki,
+        wpki=workload.wpki,
+        per_app=per_app,
+    )
+
+
+def expected_channel_utilization(workload: WorkloadTrace,
+                                 org: MemoryOrgConfig,
+                                 cpi_cpu: float, cpu_cycle_ns: float,
+                                 burst_ns: float) -> float:
+    """Back-of-envelope mean channel utilization at a given burst time.
+
+    Assumes cores commit at their compute-bound rate; actual utilization
+    is lower when memory stalls throttle the cores, so this is an upper
+    bound useful for sanity-checking configurations.
+    """
+    instr_per_ns = len(workload) / (cpi_cpu * cpu_cycle_ns)
+    accesses_per_instr = (workload.rpki + workload.wpki) / 1000.0
+    busy_per_ns = instr_per_ns * accesses_per_instr * burst_ns
+    return busy_per_ns / org.channels

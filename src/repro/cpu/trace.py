@@ -1,0 +1,132 @@
+"""LLC miss/writeback trace format.
+
+The paper's first simulation step collects memory-access traces (LLC
+misses and writebacks) with M5 (Section 4.1); the second step replays
+them in the memory-system simulator. This module defines the replayable
+trace format: for each core, a sequence of records
+
+    (gap_instructions, read_line_addr, writeback_line_addr)
+
+meaning "commit ``gap_instructions`` instructions, then miss the LLC at
+``read_line_addr``; if ``writeback_line_addr >= 0``, the miss also evicts
+a dirty line that is written back". Traces are stored as parallel numpy
+arrays and can be saved/loaded as ``.npz`` files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class CoreTrace:
+    """The access trace replayed by one core."""
+
+    app_name: str
+    app_id: int
+    gaps: np.ndarray        #: int64, instructions committed before each miss
+    read_addrs: np.ndarray  #: int64, cache-line index of each LLC miss
+    wb_addrs: np.ndarray    #: int64, writeback line index or -1 for none
+
+    def __post_init__(self) -> None:
+        n = len(self.gaps)
+        if len(self.read_addrs) != n or len(self.wb_addrs) != n:
+            raise ValueError("trace arrays must have equal length")
+        if n and self.gaps.min() < 0:
+            raise ValueError("instruction gaps must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions committed over one full pass of the trace."""
+        return int(self.gaps.sum())
+
+    @property
+    def total_reads(self) -> int:
+        return len(self.read_addrs)
+
+    @property
+    def total_writebacks(self) -> int:
+        return int((self.wb_addrs >= 0).sum())
+
+    @property
+    def rpki(self) -> float:
+        """LLC misses per kilo-instruction over the trace."""
+        instr = self.total_instructions
+        return 1000.0 * self.total_reads / instr if instr else 0.0
+
+    @property
+    def wpki(self) -> float:
+        """LLC writebacks per kilo-instruction over the trace."""
+        instr = self.total_instructions
+        return 1000.0 * self.total_writebacks / instr if instr else 0.0
+
+
+@dataclass
+class WorkloadTrace:
+    """A multiprogrammed mix: one :class:`CoreTrace` per core."""
+
+    name: str
+    cores: List[CoreTrace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    @property
+    def app_names(self) -> List[str]:
+        """Distinct application names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for core in self.cores:
+            seen.setdefault(core.app_name, None)
+        return list(seen)
+
+    def cores_of_app(self, app_name: str) -> List[int]:
+        return [i for i, c in enumerate(self.cores) if c.app_name == app_name]
+
+    @property
+    def rpki(self) -> float:
+        """Mix-level misses per kilo-instruction (aggregate, as Table 1)."""
+        instr = sum(c.total_instructions for c in self.cores)
+        reads = sum(c.total_reads for c in self.cores)
+        return 1000.0 * reads / instr if instr else 0.0
+
+    @property
+    def wpki(self) -> float:
+        instr = sum(c.total_instructions for c in self.cores)
+        wbs = sum(c.total_writebacks for c in self.cores)
+        return 1000.0 * wbs / instr if instr else 0.0
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: "Path | str") -> None:
+        """Serialize to a compressed ``.npz`` file."""
+        payload: Dict[str, np.ndarray] = {
+            "names": np.array([c.app_name for c in self.cores]),
+            "app_ids": np.array([c.app_id for c in self.cores], dtype=np.int64),
+            "mix_name": np.array([self.name]),
+        }
+        for i, core in enumerate(self.cores):
+            payload[f"gaps_{i}"] = core.gaps
+            payload[f"reads_{i}"] = core.read_addrs
+            payload[f"wbs_{i}"] = core.wb_addrs
+        np.savez_compressed(str(path), **payload)
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "WorkloadTrace":
+        with np.load(str(path), allow_pickle=False) as data:
+            names = [str(s) for s in data["names"]]
+            app_ids = data["app_ids"]
+            cores = [
+                CoreTrace(app_name=names[i], app_id=int(app_ids[i]),
+                          gaps=data[f"gaps_{i}"],
+                          read_addrs=data[f"reads_{i}"],
+                          wb_addrs=data[f"wbs_{i}"])
+                for i in range(len(names))
+            ]
+            return cls(name=str(data["mix_name"][0]), cores=cores)

@@ -1,0 +1,201 @@
+"""DRAM bank model.
+
+Each bank is a FCFS server (Figure 4): requests queue per bank, are
+serviced through the activate/column-access sequence, and then *hold the
+bank* until the channel bus accepts their data burst (transfer blocking).
+Row-buffer management is closed-page: the row is precharged after every
+access unless the next request already queued for the bank targets the
+same row (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.memsim.counters import CounterFile
+from repro.memsim.engine import EventEngine
+from repro.memsim.request import MemRequest
+from repro.memsim.rank import Rank
+from repro.memsim.timing import AccessClass, TimingCalculator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.memsim.channel import Channel
+    from repro.memsim.controller import MemoryController
+
+
+class Bank:
+    """One bank of a rank, with its request queues and row buffer."""
+
+    def __init__(self, engine: EventEngine, timing: TimingCalculator,
+                 counters: CounterFile, controller: "MemoryController",
+                 channel: "Channel", rank: Rank, bank_id: int):
+        self._engine = engine
+        self._timing = timing
+        self._counters = counters
+        self._controller = controller
+        self._channel = channel
+        self._rank = rank
+        self.bank_id = bank_id
+        self.read_q: Deque[MemRequest] = deque()
+        self.write_q: Deque[MemRequest] = deque()
+        self.busy = False
+        self.open_row: Optional[int] = None
+        self._in_service: Optional[MemRequest] = None
+        self._last_act_ns = float("-inf")
+        self._current_act_ns = float("-inf")
+
+    # -- queue interface ----------------------------------------------------
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.read_q or self.write_q)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests queued or in service (sampled by arrival counters)."""
+        return len(self.read_q) + len(self.write_q) + (1 if self.busy else 0)
+
+    def enqueue(self, request: MemRequest) -> None:
+        """Add a request; the controller has already stamped its arrival."""
+        if request.is_read:
+            self.read_q.append(request)
+        else:
+            self.write_q.append(request)
+        self.kick()
+
+    def kick(self) -> None:
+        """Attempt to start servicing the next request, if idle."""
+        if self.busy or not self.has_pending:
+            return
+        if self._rank.refresh_busy_until > self._engine.now:
+            # resume when the refresh completes (the rank kicks us back)
+            return
+        request = self._select_next()
+        if request is not None:
+            self._start_service(request)
+
+    def _select_next(self) -> Optional[MemRequest]:
+        """FCFS reads-first, unless the channel writeback queue pressure
+        flipped priority to writebacks (Section 4.1)."""
+        if self._controller.writebacks_have_priority(self._channel.channel_id):
+            if self.write_q:
+                return self.write_q.popleft()
+            if self.read_q:
+                return self.read_q.popleft()
+        else:
+            if self.read_q:
+                return self.read_q.popleft()
+            if self.write_q:
+                return self.write_q.popleft()
+        return None
+
+    # -- service -------------------------------------------------------------
+
+    def _start_service(self, request: MemRequest) -> None:
+        now = self._engine.now
+        start = max(now, self._controller.frozen_until_ns,
+                    self._rank.refresh_busy_until)
+        # Exiting powerdown costs tXP / tXPDLL and is counted via EPDC.
+        exit_penalty = self._rank.wake_for_access()
+        if exit_penalty > 0:
+            request.powerdown_exit = True
+        start += exit_penalty
+        access = self._classify(request)
+        self._record_classification(request, access)
+
+        if self._timing.needs_activate(access):
+            not_before = start
+            if access is AccessClass.OPEN_ROW_MISS:
+                not_before += self._timing.precharge_ns()
+            # per-bank tRC: a new activate must wait out the row cycle
+            not_before = max(not_before,
+                             self._last_act_ns + self._timing.row_cycle_ns())
+            act = self._rank.earliest_activate_ns(not_before)
+            self._rank.record_activate(act)
+            self._last_act_ns = act
+            self._current_act_ns = act
+            request.act_ns = act
+            data_ready = act + self._timing.timings.t_rcd_ns \
+                + self._timing.timings.t_cl_ns
+        else:
+            self._current_act_ns = self._last_act_ns
+            data_ready = start + self._timing.timings.t_cl_ns
+
+        # Decoupled-DIMM mode: slower devices behind a full-speed channel
+        # add a fixed device-side transfer delay per access.
+        data_ready += self._controller.device_extra_latency_ns
+
+        self.busy = True
+        self._in_service = request
+        self.open_row = request.location.row
+        self._rank.notify_bank_activity()
+        request.bank_start_ns = start
+        self._engine.schedule_at(data_ready, lambda: self._bank_done(request))
+
+    def _classify(self, request: MemRequest) -> AccessClass:
+        if self.open_row is None:
+            return AccessClass.CLOSED_BANK_MISS
+        if self.open_row == request.location.row:
+            return AccessClass.ROW_HIT
+        return AccessClass.OPEN_ROW_MISS
+
+    def _record_classification(self, request: MemRequest,
+                               access: AccessClass) -> None:
+        if access is AccessClass.ROW_HIT:
+            request.row_hit = True
+            self._counters.record_row_hit()
+        elif access is AccessClass.OPEN_ROW_MISS:
+            request.open_row_miss = True
+            self._counters.record_open_row_miss()
+        else:
+            self._counters.record_closed_bank_miss()
+
+    def _bank_done(self, request: MemRequest) -> None:
+        """Array access complete; hold the bank and wait for the bus."""
+        request.bank_done_ns = self._engine.now
+        self._channel.request_bus(request, self)
+
+    # -- post-burst release (called by the channel) ---------------------------
+
+    def release_after_burst(self, request: MemRequest) -> None:
+        """Burst finished: close or keep the row, then free the bank.
+
+        Closed-page policy (the default, Section 4.1): keep the row open
+        only when the next request this bank would service targets the
+        same row (it will then be a row-buffer hit); otherwise precharge.
+        Open-page policy: always keep the row open; a later conflicting
+        access pays the precharge as an open-row miss.
+        """
+        burst_end = self._engine.now
+        if self._controller.row_policy == "open":
+            keep_open = True
+        else:
+            nxt = self._peek_next()
+            keep_open = (nxt is not None
+                         and nxt.location.row == request.location.row)
+        if keep_open:
+            self._free(burst_end)
+        else:
+            # tRAS: the row must stay open at least tRAS after its activate.
+            pre_start = max(burst_end, self._current_act_ns + self._timing.ras_ns())
+            free_at = pre_start + self._timing.precharge_ns()
+            self.open_row = None
+            self._engine.schedule_at(free_at, lambda: self._free(free_at))
+
+    def _peek_next(self) -> Optional[MemRequest]:
+        if self._controller.writebacks_have_priority(self._channel.channel_id):
+            if self.write_q:
+                return self.write_q[0]
+            return self.read_q[0] if self.read_q else None
+        if self.read_q:
+            return self.read_q[0]
+        return self.write_q[0] if self.write_q else None
+
+    def _free(self, _at_ns: float) -> None:
+        self.busy = False
+        self._in_service = None
+        if self.has_pending:
+            self.kick()
+        else:
+            self._rank.notify_all_banks_idle()

@@ -1,0 +1,65 @@
+"""Memory channel (bus) model.
+
+The channel bus is a zero-queue-depth server (Figure 4): a request that
+finishes its bank access must hold its bank until the bus is free, then
+occupies the bus for one burst time (4 bus cycles at the current
+frequency). Waiting requests are served in bank-completion order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple, TYPE_CHECKING
+
+from repro.memsim.counters import CounterFile
+from repro.memsim.engine import EventEngine
+from repro.memsim.request import MemRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.memsim.bank import Bank
+    from repro.memsim.controller import MemoryController
+
+
+class Channel:
+    """One DDR channel: the shared data bus and its wait list."""
+
+    def __init__(self, engine: EventEngine, counters: CounterFile,
+                 controller: "MemoryController", channel_id: int):
+        self._engine = engine
+        self._counters = counters
+        self._controller = controller
+        self.channel_id = channel_id
+        self._bus_busy = False
+        self._waiting: Deque[Tuple[MemRequest, "Bank"]] = deque()
+
+    @property
+    def bus_outstanding(self) -> int:
+        """Requests holding or waiting for the bus (CTO sampling basis)."""
+        return len(self._waiting) + (1 if self._bus_busy else 0)
+
+    def request_bus(self, request: MemRequest, bank: "Bank") -> None:
+        """A bank finished array access and asks for the data bus."""
+        if self._bus_busy:
+            self._waiting.append((request, bank))
+        else:
+            self._start_burst(request, bank)
+
+    def _start_burst(self, request: MemRequest, bank: "Bank") -> None:
+        now = self._engine.now
+        start = max(now, self._controller.frozen_until_ns)
+        burst_ns = self._controller.channel_freq(self.channel_id).burst_ns
+        self._bus_busy = True
+        request.bus_start_ns = start
+        self._counters.record_access(self.channel_id, request.is_read, burst_ns)
+        end = start + burst_ns
+        self._engine.schedule_at(end, lambda: self._end_burst(request, bank))
+
+    def _end_burst(self, request: MemRequest, bank: "Bank") -> None:
+        request.complete_ns = self._engine.now
+        self._bus_busy = False
+        # Free the bank first so a same-row follow-up is visible as a hit.
+        bank.release_after_burst(request)
+        self._controller.on_request_complete(request)
+        if self._waiting:
+            next_request, next_bank = self._waiting.popleft()
+            self._start_burst(next_request, next_bank)

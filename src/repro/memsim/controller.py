@@ -1,0 +1,271 @@
+"""Memory controller and memory-subsystem top level.
+
+Owns the channels, ranks, and banks; accepts LLC miss/writeback requests
+from the CPU model; and implements the mechanisms of Section 3.1:
+
+* FCFS read scheduling with writebacks deprioritized until the writeback
+  queue is half-full (Section 4.1);
+* bank interleaving via the address mapper;
+* per-rank powerdown management (Fast-PD / Slow-PD baselines);
+* dynamic frequency re-locking: on ``set_frequency`` memory operation is
+  suspended for 512 bus cycles + 28 ns while DLLs re-synchronize
+  (Sections 3.1, 4.1);
+* the performance-counter file the OS policy reads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.core.frequency import FrequencyLadder, FrequencyPoint
+from repro.memsim.address import AddressMapper, MemoryLocation
+from repro.memsim.bank import Bank
+from repro.memsim.channel import Channel
+from repro.memsim.counters import CounterFile
+from repro.memsim.engine import EventEngine
+from repro.memsim.rank import Rank
+from repro.memsim.request import MemRequest, RequestKind
+from repro.memsim.states import PowerdownMode
+from repro.memsim.timing import TimingCalculator
+
+#: Writeback queue capacity per channel; reads lose priority when the
+#: occupancy reaches half of this (Section 4.1).
+WRITEBACK_QUEUE_CAPACITY = 32
+
+
+class MemoryController:
+    """The simulated memory subsystem (MC + channels + DIMMs)."""
+
+    def __init__(self, engine: EventEngine, config: SystemConfig,
+                 powerdown_mode: PowerdownMode = PowerdownMode.NONE,
+                 refresh_enabled: bool = True,
+                 n_cores: Optional[int] = None):
+        config.validate()
+        self._engine = engine
+        self._config = config
+        self._timing = TimingCalculator(config.timings)
+        self._ladder = FrequencyLadder(config)
+        self._freq = self._ladder.fastest
+        self._channel_freqs: Dict[int, FrequencyPoint] = {}
+        self._device_extra_ns = 0.0
+        self.powerdown_mode = powerdown_mode
+        self.mapper = AddressMapper(config.org)
+        org = config.org
+        cores = n_cores if n_cores is not None else config.cpu.cores
+        self.counters = CounterFile(n_cores=cores,
+                                    n_channels=org.channels,
+                                    n_ranks=org.total_ranks)
+        self.frozen_until_ns = 0.0
+        self.transition_count = 0
+        self.completed_reads = 0
+        self.completed_writes = 0
+        self._in_flight = 0
+        self._wb_pending: List[int] = [0] * org.channels
+        self._wb_priority: List[bool] = [False] * org.channels
+
+        self.channels: List[Channel] = [
+            Channel(engine, self.counters, self, c) for c in range(org.channels)
+        ]
+        self.ranks: List[Rank] = []
+        self._banks: Dict[tuple, Bank] = {}
+        for c in range(org.channels):
+            for r in range(org.ranks_per_channel):
+                global_rank = c * org.ranks_per_channel + r
+                rank = Rank(engine, self._timing, self.counters,
+                            global_rank_index=global_rank,
+                            n_banks=org.banks_per_rank,
+                            powerdown_mode=powerdown_mode,
+                            refresh_enabled=refresh_enabled)
+                banks = []
+                for b in range(org.banks_per_rank):
+                    bank = Bank(engine, self._timing, self.counters, self,
+                                self.channels[c], rank, bank_id=b)
+                    self._banks[(c, r, b)] = bank
+                    banks.append(bank)
+                rank.attach_banks(banks)
+                self.ranks.append(rank)
+
+    # -- public properties ----------------------------------------------------
+
+    @property
+    def engine(self) -> EventEngine:
+        return self._engine
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def timing(self) -> TimingCalculator:
+        return self._timing
+
+    @property
+    def ladder(self) -> FrequencyLadder:
+        return self._ladder
+
+    @property
+    def freq(self) -> FrequencyPoint:
+        """The active frequency point (bus + MC)."""
+        return self._freq
+
+    @property
+    def device_extra_latency_ns(self) -> float:
+        """Extra per-access device latency (Decoupled-DIMM mode), else 0."""
+        return self._device_extra_ns
+
+    def channel_freq(self, channel_id: int) -> FrequencyPoint:
+        """The frequency of one channel (per-channel DFS extension).
+
+        Defaults to the global frequency unless a per-channel override
+        was installed via :meth:`set_channel_frequency`.
+        """
+        return self._channel_freqs.get(channel_id, self._freq)
+
+    def channel_bus_mhz_list(self) -> List[float]:
+        """Per-channel bus frequencies, for power accounting."""
+        return [self.channel_freq(c).bus_mhz
+                for c in range(self._config.org.channels)]
+
+    @property
+    def row_policy(self) -> str:
+        """Row-buffer management policy: "closed" or "open"."""
+        return self._config.org.row_policy
+
+    def bank(self, channel: int, rank: int, bank: int) -> Bank:
+        return self._banks[(channel, rank, bank)]
+
+    # -- request path -----------------------------------------------------------
+
+    def submit(self, request: MemRequest) -> None:
+        """Accept a request from the LLC; it reaches its bank after the MC
+        processing latency (5 MC cycles at the current frequency)."""
+        now = self._engine.now
+        request.issue_ns = now
+        request.arrive_mc_ns = now
+        self._in_flight += 1
+        if not request.is_read:
+            ch = request.location.channel
+            self._wb_pending[ch] += 1
+            self._update_wb_priority(ch)
+        mc_delay = max(self._freq.mc_latency_ns,
+                       self.frozen_until_ns - now)
+        self._engine.schedule(mc_delay, lambda: self._arrive_at_bank(request))
+
+    def submit_read(self, line_addr: int, core_id: int = 0, app_id: int = 0,
+                    on_complete: Optional[Callable[[MemRequest], None]] = None
+                    ) -> MemRequest:
+        """Convenience wrapper: decode an address and submit an LLC miss."""
+        request = MemRequest(RequestKind.READ, self.mapper.decode(line_addr),
+                             core_id=core_id, app_id=app_id,
+                             on_complete=on_complete)
+        self.submit(request)
+        return request
+
+    def submit_writeback(self, line_addr: int, core_id: int = 0,
+                         app_id: int = 0) -> MemRequest:
+        request = MemRequest(RequestKind.WRITE, self.mapper.decode(line_addr),
+                             core_id=core_id, app_id=app_id)
+        self.submit(request)
+        return request
+
+    def _arrive_at_bank(self, request: MemRequest) -> None:
+        loc = request.location
+        bank = self._banks[(loc.channel, loc.rank, loc.bank)]
+        request.arrive_bank_ns = self._engine.now
+        # Sample the transactions-outstanding accumulators (Section 3.1)
+        # at arrival, before this request is added.
+        self.counters.record_bank_arrival(float(bank.outstanding))
+        self.counters.record_channel_arrival(
+            float(self.channels[loc.channel].bus_outstanding))
+        bank.enqueue(request)
+
+    def on_request_complete(self, request: MemRequest) -> None:
+        """Called by the channel when the data burst finishes."""
+        self._in_flight -= 1
+        if request.is_read:
+            self.completed_reads += 1
+            if request.on_complete is not None:
+                request.on_complete(request)
+        else:
+            self.completed_writes += 1
+            ch = request.location.channel
+            self._wb_pending[ch] -= 1
+            self._update_wb_priority(ch)
+
+    # -- writeback priority -------------------------------------------------------
+
+    def writebacks_have_priority(self, channel_id: int) -> bool:
+        return self._wb_priority[channel_id]
+
+    def _update_wb_priority(self, channel_id: int) -> None:
+        self._wb_priority[channel_id] = (
+            self._wb_pending[channel_id] >= WRITEBACK_QUEUE_CAPACITY // 2
+        )
+
+    # -- frequency control ----------------------------------------------------------
+
+    def set_frequency(self, point: FrequencyPoint) -> float:
+        """Re-lock the memory subsystem to ``point``.
+
+        Returns the transition penalty in ns (0 when already at ``point``).
+        During the penalty window memory operation is suspended: banks do
+        not start new accesses and the MC does not forward requests.
+        """
+        if point is self._freq or point.bus_mhz == self._freq.bus_mhz:
+            return 0.0
+        penalty = self._config.policy.transition_penalty_ns(self._freq.bus_mhz)
+        self.frozen_until_ns = max(self.frozen_until_ns,
+                                   self._engine.now + penalty)
+        self._freq = point
+        self._channel_freqs.clear()
+        self.transition_count += 1
+        return penalty
+
+    def set_frequency_by_bus_mhz(self, bus_mhz: float) -> float:
+        return self.set_frequency(self._ladder.at_bus_mhz(bus_mhz))
+
+    def set_channel_frequency(self, channel_id: int,
+                              point: FrequencyPoint) -> float:
+        """Per-channel DFS (the paper's first future-work item).
+
+        Re-locks a single channel (and its DIMMs) to ``point``; other
+        channels and the MC keep the global frequency. Returns the
+        transition penalty (channels re-lock through the same precharge
+        powerdown + DLL resync path).
+        """
+        if not 0 <= channel_id < self._config.org.channels:
+            raise ValueError(f"no such channel: {channel_id}")
+        current = self.channel_freq(channel_id)
+        if point.bus_mhz == current.bus_mhz:
+            return 0.0
+        penalty = self._config.policy.transition_penalty_ns(current.bus_mhz)
+        self.frozen_until_ns = max(self.frozen_until_ns,
+                                   self._engine.now + penalty)
+        self._channel_freqs[channel_id] = point
+        self.transition_count += 1
+        return penalty
+
+    def set_device_extra_latency_ns(self, extra_ns: float) -> None:
+        """Decoupled-DIMM support: slower devices behind a full-speed bus
+        add a fixed per-access device latency (Section 4.1)."""
+        if extra_ns < 0:
+            raise ValueError("extra device latency must be non-negative")
+        self._device_extra_ns = extra_ns
+
+    # -- accounting -------------------------------------------------------------------
+
+    def sync_accounting(self) -> None:
+        """Flush rank state-time integrals up to 'now' (call before snapshots)."""
+        for rank in self.ranks:
+            rank.sync_accounting()
+
+    def snapshot(self):
+        """Counter snapshot at the current instant, with accounting synced."""
+        self.sync_accounting()
+        return self.counters.snapshot(self._engine.now)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests submitted but not yet completed."""
+        return self._in_flight

@@ -1,0 +1,122 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop used by the whole memory-system simulator.
+Events are callbacks ordered by (time, insertion sequence); ties in time
+therefore execute in scheduling order, which keeps simulations
+deterministic. Time is float nanoseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventEngine:
+    """A deterministic discrete-event scheduler over float-ns time."""
+
+    def __init__(self, start_time_ns: float = 0.0):
+        self._now = start_time_ns
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule_at(self, time_ns: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns: current time is {self._now} ns"
+            )
+        event = Event(time_ns, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay_ns: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay_ns`` nanoseconds."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self.schedule_at(self._now + delay_ns, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is drained."""
+        self._drop_cancelled()
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when no events remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run_until(self, time_ns: float) -> None:
+        """Run all events scheduled strictly up to and at ``time_ns``.
+
+        On return the clock reads exactly ``time_ns`` even when the queue
+        drained early, so periodic controllers can rely on the clock.
+        """
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot run backwards to {time_ns} ns from {self._now} ns"
+            )
+        while True:
+            self._drop_cancelled()
+            if not self._queue or self._queue[0].time > time_ns:
+                break
+            self.step()
+        self._now = time_ns
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains (or ``max_events`` is reached)."""
+        remaining = max_events
+        while self.step():
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)

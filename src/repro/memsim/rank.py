@@ -1,0 +1,162 @@
+"""DRAM rank model: power states, activation window, refresh.
+
+The rank is the granularity of DDR3 power management (Section 1): CKE is
+per-rank, so powerdown requires *every* bank of the rank to be idle — the
+very property that makes idle low-power states hard to exploit and
+motivates MemScale. The rank also enforces the cross-bank activation
+constraints tRRD and tFAW and periodically refreshes itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.memsim.counters import CounterFile
+from repro.memsim.engine import EventEngine
+from repro.memsim.states import PowerdownMode, RankPowerState
+from repro.memsim.timing import TimingCalculator
+
+
+class Rank:
+    """One rank of DRAM chips plus its power/refresh state machine."""
+
+    def __init__(self, engine: EventEngine, timing: TimingCalculator,
+                 counters: CounterFile, global_rank_index: int,
+                 n_banks: int, powerdown_mode: PowerdownMode,
+                 refresh_enabled: bool = True):
+        self._engine = engine
+        self._timing = timing
+        self._counters = counters
+        self.global_rank_index = global_rank_index
+        self.n_banks = n_banks
+        self.powerdown_mode = powerdown_mode
+        self._banks: List[object] = []  # populated by the controller wiring
+        # power state accounting
+        self._state = RankPowerState.PRECHARGE_STANDBY
+        self._state_since = engine.now
+        # activation window: times of the most recent activates (for tFAW)
+        self._recent_activates: Deque[float] = deque(maxlen=4)
+        # refresh machinery
+        self.refresh_busy_until = -1.0
+        self._refresh_due = False
+        self._refresh_enabled = refresh_enabled
+        if refresh_enabled:
+            # stagger the first refresh across ranks to avoid lock-step
+            offset = (global_rank_index % 16) / 16.0 * timing.refresh_interval_ns()
+            engine.schedule(timing.refresh_interval_ns() + offset, self._refresh_timer)
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach_banks(self, banks: List[object]) -> None:
+        """Called once by the controller after banks are constructed."""
+        self._banks = banks
+
+    # -- power-state machine ----------------------------------------------
+
+    @property
+    def state(self) -> RankPowerState:
+        return self._state
+
+    @property
+    def cke_low(self) -> bool:
+        return self._state.cke_low
+
+    def sync_accounting(self) -> None:
+        """Flush elapsed time in the current state into the counter file."""
+        now = self._engine.now
+        elapsed = now - self._state_since
+        if elapsed > 0:
+            self._counters.account_rank_state(self.global_rank_index,
+                                              self._state, elapsed)
+        self._state_since = now
+
+    def _transition(self, new_state: RankPowerState) -> None:
+        if new_state is self._state:
+            return
+        self.sync_accounting()
+        self._state = new_state
+
+    def notify_bank_activity(self) -> None:
+        """A bank opened a row or started service: rank must be in standby."""
+        self._transition(RankPowerState.ACTIVE_STANDBY)
+
+    def notify_all_banks_idle(self) -> None:
+        """All banks precharged & queues empty — maybe enter powerdown."""
+        if self._any_bank_busy():
+            return
+        if self.powerdown_mode is PowerdownMode.NONE:
+            self._transition(RankPowerState.PRECHARGE_STANDBY)
+        else:
+            # Aggressive MC: immediate transition to precharge powerdown
+            # when the last bank of the rank closes (Section 4.2.3).
+            if self._all_rows_closed():
+                self._transition(RankPowerState.PRECHARGE_POWERDOWN)
+            else:
+                self._transition(RankPowerState.ACTIVE_STANDBY)
+        self._maybe_start_refresh()
+
+    def wake_for_access(self) -> float:
+        """Exit powerdown for a new access; returns the exit penalty in ns.
+
+        Records an EPDC event when an exit actually occurs (Section 3.1).
+        """
+        if not self.cke_low:
+            return 0.0
+        self._counters.record_powerdown_exit()
+        self._transition(RankPowerState.PRECHARGE_STANDBY
+                         if self._state.all_precharged
+                         else RankPowerState.ACTIVE_STANDBY)
+        return self._timing.powerdown_exit_ns(self.powerdown_mode)
+
+    # -- activation window (tRRD / tFAW) -----------------------------------
+
+    def earliest_activate_ns(self, not_before_ns: float) -> float:
+        """Earliest time a new activate may issue to this rank."""
+        t = not_before_ns
+        if self._recent_activates:
+            t = max(t, self._recent_activates[-1] + self._timing.min_activate_gap_ns())
+        if len(self._recent_activates) == 4:
+            t = max(t, self._recent_activates[0] + self._timing.four_activate_window_ns())
+        if self.refresh_busy_until > t:
+            t = self.refresh_busy_until
+        return t
+
+    def record_activate(self, time_ns: float) -> None:
+        self._recent_activates.append(time_ns)
+        self._counters.record_activate()
+
+    # -- refresh ------------------------------------------------------------
+
+    def _refresh_timer(self) -> None:
+        self._refresh_due = True
+        self._engine.schedule(self._timing.refresh_interval_ns(), self._refresh_timer)
+        self._maybe_start_refresh()
+
+    def _maybe_start_refresh(self) -> None:
+        """Issue the pending refresh as soon as every bank is quiescent."""
+        if not self._refresh_due or self._any_bank_busy():
+            return
+        now = self._engine.now
+        if self.refresh_busy_until > now:
+            return
+        self._refresh_due = False
+        # refresh executes from standby: wake the rank without an access
+        if self.cke_low:
+            self._transition(RankPowerState.PRECHARGE_STANDBY)
+        self.refresh_busy_until = now + self._timing.refresh_ns()
+        self._counters.record_refresh(self.global_rank_index)
+        self._engine.schedule_at(self.refresh_busy_until, self._refresh_done)
+
+    def _refresh_done(self) -> None:
+        for bank in self._banks:
+            bank.kick()
+        self.notify_all_banks_idle()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _any_bank_busy(self) -> bool:
+        return any(bank.busy or bank.has_pending for bank in self._banks)
+
+    def _all_rows_closed(self) -> bool:
+        return all(bank.open_row is None for bank in self._banks)

@@ -1,0 +1,47 @@
+"""Shared state enums for DRAM rank/bank power accounting."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RankPowerState(enum.Enum):
+    """Power-relevant state of a DRAM rank (Section 2.1 / Micron model).
+
+    ``ACTIVE_STANDBY``    -- some bank open, clock enabled (IDD3N)
+    ``PRECHARGE_STANDBY`` -- all banks precharged, clock enabled (IDD2N)
+    ``ACTIVE_POWERDOWN``  -- some bank open, CKE low (IDD3P)
+    ``PRECHARGE_POWERDOWN`` -- all banks precharged, CKE low (IDD2P);
+                            the state used both for idle power savings and
+                            for frequency re-calibration (Section 3.1)
+    """
+
+    ACTIVE_STANDBY = "act_stby"
+    PRECHARGE_STANDBY = "pre_stby"
+    ACTIVE_POWERDOWN = "act_pd"
+    PRECHARGE_POWERDOWN = "pre_pd"
+
+    @property
+    def cke_low(self) -> bool:
+        return self in (RankPowerState.ACTIVE_POWERDOWN,
+                        RankPowerState.PRECHARGE_POWERDOWN)
+
+    @property
+    def all_precharged(self) -> bool:
+        return self in (RankPowerState.PRECHARGE_STANDBY,
+                        RankPowerState.PRECHARGE_POWERDOWN)
+
+
+class PowerdownMode(enum.Enum):
+    """Idle power-management aggressiveness of the MC (Section 4.2.3).
+
+    ``NONE``      -- ranks never enter powerdown (the paper's baseline)
+    ``FAST_EXIT`` -- immediate fast-exit precharge powerdown (Fast-PD),
+                     exit costs t_XP
+    ``SLOW_EXIT`` -- immediate slow-exit precharge powerdown (Slow-PD),
+                     exit costs t_XPDLL
+    """
+
+    NONE = "none"
+    FAST_EXIT = "fast"
+    SLOW_EXIT = "slow"

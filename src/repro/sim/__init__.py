@@ -1,0 +1,23 @@
+"""System-level simulation: wiring, results, and experiment running."""
+
+from repro.sim.results import (
+    ENERGY_COMPONENTS,
+    EpochSample,
+    PolicyComparison,
+    RunResult,
+    compare_to_baseline,
+)
+from repro.sim.runner import POLICY_NAMES, ExperimentRunner, RunnerSettings
+from repro.sim.system import SystemSimulator
+
+__all__ = [
+    "ENERGY_COMPONENTS",
+    "EpochSample",
+    "ExperimentRunner",
+    "POLICY_NAMES",
+    "PolicyComparison",
+    "RunResult",
+    "RunnerSettings",
+    "SystemSimulator",
+    "compare_to_baseline",
+]

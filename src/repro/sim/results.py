@@ -1,0 +1,186 @@
+"""Run results and cross-policy comparison.
+
+A :class:`RunResult` captures everything one simulation produces:
+per-application CPI (measured over each app's first N instructions, the
+paper's methodology), the energy breakdown integrated over the run, and
+a per-epoch timeline for the dynamic-behaviour figures. Comparisons
+against the all-on baseline yield the numbers every figure reports:
+memory/system energy savings and average/worst CPI increase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.energy_model import rest_of_system_power_w
+from repro.core.power_model import PowerBreakdown
+
+#: Names of the energy components tracked per run, in display order.
+ENERGY_COMPONENTS = (
+    "background", "refresh", "actpre", "rdwr", "termination", "pll_reg", "mc",
+)
+
+
+@dataclass(frozen=True)
+class EpochSample:
+    """Per-epoch timeline record (Figures 7 and 8)."""
+
+    time_ns: float              #: epoch end time
+    bus_mhz: float              #: frequency during the epoch body
+    app_cpi: Dict[str, float]   #: average CPI per application this epoch
+    channel_util: np.ndarray    #: per-channel utilization this epoch
+    memory_power_w: float
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulated run."""
+
+    workload: str
+    governor: str
+    target_instructions: int
+    wall_time_ns: float                    #: slowest core's completion time
+    sim_time_ns: float                     #: total simulated (energy) window
+    core_apps: List[str]                   #: app name per core
+    core_time_at_target_ns: List[float]    #: per-core completion times
+    energy_j: Dict[str, float]             #: per-component memory energy
+    timeline: List[EpochSample] = field(default_factory=list)
+    transition_count: int = 0
+    epochs: int = 0
+
+    # -- energy ----------------------------------------------------------
+
+    @property
+    def memory_energy_j(self) -> float:
+        """DIMMs + MC energy over the run."""
+        return sum(self.energy_j.values())
+
+    @property
+    def dimm_energy_j(self) -> float:
+        return self.memory_energy_j - self.energy_j.get("mc", 0.0)
+
+    @property
+    def sim_time_s(self) -> float:
+        return self.sim_time_ns * 1e-9
+
+    @property
+    def avg_dimm_power_w(self) -> float:
+        return self.dimm_energy_j / self.sim_time_s if self.sim_time_s > 0 else 0.0
+
+    @property
+    def avg_memory_power_w(self) -> float:
+        return self.memory_energy_j / self.sim_time_s if self.sim_time_s > 0 else 0.0
+
+    def system_energy_j(self, rest_power_w: float) -> float:
+        """Memory energy plus the fixed rest-of-system draw over the run."""
+        return self.memory_energy_j + rest_power_w * self.sim_time_s
+
+    # -- per-application CPI ------------------------------------------------
+
+    @property
+    def cpu_cycle_ns(self) -> float:
+        # wall time / instructions / cycle time; stored implicitly via CPI
+        raise AttributeError("use app_cpi(cycle_ns) instead")
+
+    def core_cpi(self, cycle_ns: float) -> np.ndarray:
+        """Per-core CPI over each core's first ``target_instructions``."""
+        times = np.asarray(self.core_time_at_target_ns, dtype=np.float64)
+        return times / (self.target_instructions * cycle_ns)
+
+    def app_cpi(self, cycle_ns: float) -> Dict[str, float]:
+        """Average CPI per application (across its replicated instances)."""
+        per_core = self.core_cpi(cycle_ns)
+        sums: Dict[str, List[float]] = {}
+        for app, cpi in zip(self.core_apps, per_core):
+            sums.setdefault(app, []).append(float(cpi))
+        return {app: float(np.mean(vals)) for app, vals in sums.items()}
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """A policy run normalized against the all-on baseline run."""
+
+    workload: str
+    governor: str
+    memory_energy_savings: float    #: 1 - E_mem(policy) / E_mem(baseline)
+    system_energy_savings: float    #: 1 - E_sys(policy) / E_sys(baseline)
+    avg_cpi_increase: float         #: mean over apps of CPI(policy)/CPI(base) - 1
+    worst_cpi_increase: float       #: max over apps
+    app_cpi_increase: Dict[str, float]
+    rest_power_w: float
+    energy_breakdown_j: Dict[str, float]
+    baseline_breakdown_j: Dict[str, float]
+
+
+def compare_to_baseline(baseline: RunResult, policy: RunResult,
+                        cycle_ns: float, memory_power_fraction: float,
+                        rest_power_w: Optional[float] = None
+                        ) -> PolicyComparison:
+    """Normalize ``policy``'s run against ``baseline``'s (same workload).
+
+    ``rest_power_w`` defaults to the value implied by the baseline's DIMM
+    power and the configured memory power fraction (Section 4.1).
+    """
+    if baseline.workload != policy.workload:
+        raise ValueError(
+            f"cannot compare different workloads: "
+            f"{baseline.workload!r} vs {policy.workload!r}")
+    if baseline.target_instructions != policy.target_instructions:
+        raise ValueError("runs measured over different instruction targets")
+    if rest_power_w is None:
+        rest_power_w = rest_of_system_power_w(
+            baseline.avg_dimm_power_w, memory_power_fraction)
+
+    e_mem_base = baseline.memory_energy_j
+    e_mem_pol = policy.memory_energy_j
+    mem_savings = 1.0 - e_mem_pol / e_mem_base if e_mem_base > 0 else 0.0
+    e_sys_base = baseline.system_energy_j(rest_power_w)
+    e_sys_pol = policy.system_energy_j(rest_power_w)
+    sys_savings = 1.0 - e_sys_pol / e_sys_base if e_sys_base > 0 else 0.0
+
+    base_cpi = baseline.app_cpi(cycle_ns)
+    pol_cpi = policy.app_cpi(cycle_ns)
+    increases: Dict[str, float] = {}
+    for app, base_value in base_cpi.items():
+        if base_value <= 0 or app not in pol_cpi:
+            continue
+        increases[app] = pol_cpi[app] / base_value - 1.0
+    if not increases:
+        raise ValueError("no comparable applications between the two runs")
+    values = list(increases.values())
+    return PolicyComparison(
+        workload=policy.workload,
+        governor=policy.governor,
+        memory_energy_savings=mem_savings,
+        system_energy_savings=sys_savings,
+        avg_cpi_increase=float(np.mean(values)),
+        worst_cpi_increase=float(np.max(values)),
+        app_cpi_increase=increases,
+        rest_power_w=rest_power_w,
+        energy_breakdown_j=dict(policy.energy_j),
+        baseline_breakdown_j=dict(baseline.energy_j),
+    )
+
+
+def breakdown_to_energy_dict(power: PowerBreakdown, seconds: float
+                             ) -> Dict[str, float]:
+    """Integrate a power breakdown over ``seconds`` into per-component J."""
+    return {
+        "background": power.background_w * seconds,
+        "refresh": power.refresh_w * seconds,
+        "actpre": power.actpre_w * seconds,
+        "rdwr": power.rdwr_w * seconds,
+        "termination": power.termination_w * seconds,
+        "pll_reg": power.pll_reg_w * seconds,
+        "mc": power.mc_w * seconds,
+    }
+
+
+def accumulate_energy(total: Dict[str, float],
+                      increment: Dict[str, float]) -> None:
+    """Add ``increment`` into ``total`` in place."""
+    for key, value in increment.items():
+        total[key] = total.get(key, 0.0) + value

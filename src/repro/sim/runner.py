@@ -1,0 +1,144 @@
+"""Experiment runner: builds workloads, runs policies, compares results.
+
+This is the orchestration layer every benchmark and example uses. It
+caches the generated trace and the all-on baseline run for each mix so
+that several policies can be compared against identical work, and it
+wires the MemScale policy's energy model to the rest-of-system power
+calibrated from that baseline (Section 4.1's 40% DIMM-share assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import SystemConfig, scaled_config
+from repro.core.baselines import (
+    BaselineGovernor,
+    DecoupledDimmGovernor,
+    StaticFrequencyGovernor,
+)
+from repro.core.energy_model import EnergyModel, rest_of_system_power_w
+from repro.core.governor import Governor, MemScaleGovernor
+from repro.core.policy import MemScalePolicy, PolicyObjective
+from repro.cpu.trace import WorkloadTrace
+from repro.cpu.workloads import TraceGenerator
+from repro.memsim.states import PowerdownMode
+from repro.sim.results import PolicyComparison, RunResult, compare_to_baseline
+from repro.sim.system import SystemSimulator
+
+#: Names accepted by :meth:`ExperimentRunner.run_named_policy`, mirroring
+#: the alternatives of Section 4.2.3.
+POLICY_NAMES = (
+    "Baseline", "Fast-PD", "Slow-PD", "Static", "Decoupled",
+    "MemScale", "MemScale(MemEnergy)", "MemScale+Fast-PD",
+)
+
+
+@dataclass(frozen=True)
+class RunnerSettings:
+    """Scale knobs for a batch of experiments."""
+
+    cores: int = 16
+    instructions_per_core: int = 60_000
+    seed: int = 2011
+
+
+class ExperimentRunner:
+    """Runs and compares energy-management policies on Table 1 mixes."""
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 settings: Optional[RunnerSettings] = None):
+        self.config = config if config is not None else scaled_config()
+        self.config.validate()
+        self.settings = settings if settings is not None else RunnerSettings()
+        self._traces: Dict[str, WorkloadTrace] = {}
+        self._baselines: Dict[str, RunResult] = {}
+        self._generator = TraceGenerator(seed=self.settings.seed)
+
+    # -- workload / baseline caches ------------------------------------------
+
+    def trace(self, mix: str) -> WorkloadTrace:
+        """The (cached) deterministic trace of ``mix``."""
+        if mix not in self._traces:
+            self._traces[mix] = self._generator.generate_mix(
+                mix, cores=self.settings.cores,
+                instructions_per_core=self.settings.instructions_per_core)
+        return self._traces[mix]
+
+    def run_governor(self, mix: str, governor: Governor) -> RunResult:
+        """Simulate ``mix`` under ``governor`` (no caching)."""
+        sim = SystemSimulator(self.config, self.trace(mix), governor)
+        return sim.run()
+
+    def baseline(self, mix: str) -> RunResult:
+        """The (cached) all-on max-frequency reference run for ``mix``."""
+        if mix not in self._baselines:
+            self._baselines[mix] = self.run_governor(mix, BaselineGovernor())
+        return self._baselines[mix]
+
+    def rest_power_w(self, mix: str) -> float:
+        """Fixed rest-of-system power calibrated from the mix's baseline."""
+        return rest_of_system_power_w(
+            self.baseline(mix).avg_dimm_power_w,
+            self.config.power.memory_power_fraction)
+
+    # -- policy construction ------------------------------------------------------
+
+    def make_memscale_governor(self, mix: str,
+                               objective: PolicyObjective =
+                               PolicyObjective.SYSTEM_ENERGY,
+                               use_powerdown: bool = False) -> MemScaleGovernor:
+        """A MemScale governor calibrated against the mix's baseline."""
+        energy_model = EnergyModel(self.config, self.rest_power_w(mix))
+        pd_exit = (self.config.timings.t_xp_ns if use_powerdown else None)
+        policy = MemScalePolicy(self.config, energy_model,
+                                n_cores=self.settings.cores,
+                                objective=objective, pd_exit_ns=pd_exit)
+        return MemScaleGovernor(policy, use_powerdown=use_powerdown)
+
+    def make_named_governor(self, mix: str, name: str) -> Governor:
+        if name == "Baseline":
+            return BaselineGovernor()
+        if name == "Fast-PD":
+            return BaselineGovernor(PowerdownMode.FAST_EXIT)
+        if name == "Slow-PD":
+            return BaselineGovernor(PowerdownMode.SLOW_EXIT)
+        if name == "Static":
+            return StaticFrequencyGovernor()
+        if name == "Decoupled":
+            return DecoupledDimmGovernor()
+        if name == "MemScale":
+            return self.make_memscale_governor(mix)
+        if name == "MemScale(MemEnergy)":
+            return self.make_memscale_governor(
+                mix, objective=PolicyObjective.MEMORY_ENERGY)
+        if name == "MemScale+Fast-PD":
+            return self.make_memscale_governor(mix, use_powerdown=True)
+        raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+
+    # -- comparisons --------------------------------------------------------------
+
+    def compare(self, mix: str, governor: Governor) -> PolicyComparison:
+        """Run ``governor`` on ``mix`` and normalize to the baseline."""
+        base = self.baseline(mix)
+        result = self.run_governor(mix, governor)
+        return compare_to_baseline(
+            base, result,
+            cycle_ns=self.config.cpu.cycle_ns,
+            memory_power_fraction=self.config.power.memory_power_fraction)
+
+    def compare_named(self, mix: str, name: str) -> PolicyComparison:
+        return self.compare(mix, self.make_named_governor(mix, name))
+
+    def run_memscale(self, mix: str, **kwargs
+                     ) -> Tuple[RunResult, PolicyComparison]:
+        """Convenience: MemScale run plus its baseline comparison."""
+        governor = self.make_memscale_governor(mix, **kwargs)
+        base = self.baseline(mix)
+        result = self.run_governor(mix, governor)
+        comparison = compare_to_baseline(
+            base, result,
+            cycle_ns=self.config.cpu.cycle_ns,
+            memory_power_fraction=self.config.power.memory_power_fraction)
+        return result, comparison

@@ -1,0 +1,200 @@
+"""Top-level system simulator.
+
+Wires the CPU cluster, the memory subsystem, and a governor into the
+two-step methodology of Section 4.1: traces drive the cores, the memory
+simulator models the subsystem in detail, and the governor runs at
+profile/epoch boundaries exactly as the OS policy would. The simulation
+terminates when the slowest core has committed the target instruction
+count (other cores keep replaying their traces in a loop, as in the
+paper), and energy is integrated over the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.governor import Governor
+from repro.core.power_model import PowerModel
+from repro.cpu.core_model import CpuCluster
+from repro.cpu.trace import WorkloadTrace
+from repro.memsim.controller import MemoryController
+from repro.memsim.counters import CounterFile, CounterSnapshot
+from repro.memsim.engine import EventEngine
+from repro.sim.results import (
+    EpochSample,
+    RunResult,
+    accumulate_energy,
+    breakdown_to_energy_dict,
+)
+
+
+class SystemSimulator:
+    """One run: a workload trace under one energy-management governor."""
+
+    def __init__(self, config: SystemConfig, workload: WorkloadTrace,
+                 governor: Governor,
+                 target_instructions: Optional[int] = None,
+                 max_epochs: int = 200_000,
+                 refresh_enabled: bool = True):
+        config.validate()
+        if len(workload) == 0:
+            raise ValueError("workload has no cores")
+        self.config = config
+        self.workload = workload
+        self.governor = governor
+        self.engine = EventEngine()
+        self.controller = MemoryController(
+            self.engine, config,
+            powerdown_mode=governor.powerdown_mode,
+            refresh_enabled=refresh_enabled,
+            n_cores=len(workload))
+        self.cluster = CpuCluster(self.engine, self.controller, config.cpu,
+                                  workload.cores, loop_traces=True)
+        self.power_model = PowerModel(config)
+        if target_instructions is None:
+            target_instructions = min(c.total_instructions
+                                      for c in workload.cores)
+        self.target_instructions = target_instructions
+        self._max_epochs = max_epochs
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute until every core reaches the instruction target."""
+        cfg = self.config.policy
+        governor = self.governor
+        controller = self.controller
+        engine = self.engine
+
+        governor.setup(controller)
+        self.cluster.set_target(self.target_instructions)
+        self.cluster.start()
+
+        energy_j: Dict[str, float] = {}
+        timeline: List[EpochSample] = []
+        device_mhz = governor.device_bus_mhz(controller)
+
+        def take_snapshot() -> CounterSnapshot:
+            self.cluster.sync_committed()
+            return controller.snapshot()
+
+        epoch = 0
+        epoch_start = engine.now
+        snap_epoch = take_snapshot()
+        finished = False
+        while epoch < self._max_epochs and not finished:
+            # ---- profiling phase (stage 1) ----
+            freq_profile = controller.freq
+            channels_profile = governor.channel_bus_mhz(controller)
+            profile_end = epoch_start + cfg.profile_ns
+            finished = self._run_until_or_done(profile_end)
+            snap_profile = take_snapshot()
+            delta_profile = CounterFile.delta(snap_epoch, snap_profile)
+            self._account(energy_j, delta_profile, freq_profile, device_mhz,
+                          channels_profile)
+            if finished:
+                delta_epoch = delta_profile
+                freq_body = freq_profile
+                epoch_end = engine.now
+            else:
+                # ---- control algorithm + re-lock (stages 2-3) ----
+                epoch_end = epoch_start + cfg.epoch_ns
+                governor.on_profile_end(delta_profile, controller,
+                                        epoch_end - engine.now)
+
+                # ---- epoch body at the new frequency ----
+                freq_body = controller.freq
+                channels_body = governor.channel_bus_mhz(controller)
+                finished = self._run_until_or_done(epoch_end)
+                epoch_end = engine.now
+                snap_end = take_snapshot()
+                delta_body = CounterFile.delta(snap_profile, snap_end)
+                self._account(energy_j, delta_body, freq_body, device_mhz,
+                              channels_body)
+
+                # ---- slack update (stage 4) ----
+                delta_epoch = CounterFile.delta(snap_epoch, snap_end)
+                governor.on_epoch_end(delta_epoch, controller,
+                                      epoch_end - epoch_start)
+                snap_epoch = snap_end
+
+            timeline.append(self._sample_epoch(
+                epoch_end, freq_body, delta_epoch, device_mhz))
+            epoch += 1
+            epoch_start = epoch_end
+        if not finished:
+            raise RuntimeError(
+                f"workload {self.workload.name!r} did not reach "
+                f"{self.target_instructions} instructions within "
+                f"{self._max_epochs} epochs")
+
+        wall = max(core.time_at_target_ns for core in self.cluster.cores)
+        return RunResult(
+            workload=self.workload.name,
+            governor=governor.name,
+            target_instructions=self.target_instructions,
+            wall_time_ns=wall,
+            sim_time_ns=engine.now,
+            core_apps=[core.app_name for core in self.cluster.cores],
+            core_time_at_target_ns=[core.time_at_target_ns
+                                    for core in self.cluster.cores],
+            energy_j=energy_j,
+            timeline=timeline,
+            transition_count=controller.transition_count,
+            epochs=epoch,
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    def _run_until_or_done(self, time_ns: float) -> bool:
+        """Advance to ``time_ns``, stopping early the moment every core
+        reaches its instruction target. Returns True when all reached."""
+        engine = self.engine
+        n = len(self.cluster.cores)
+        if self.cluster.reached_count >= n:
+            return True
+        while True:
+            next_time = engine.peek_time()
+            if next_time is None or next_time > time_ns:
+                engine.run_until(time_ns)
+                return self.cluster.reached_count >= n
+            engine.step()
+            if self.cluster.reached_count >= n:
+                return True
+
+    def _account(self, energy_j: Dict[str, float], delta, freq,
+                 device_mhz: Optional[float],
+                 channel_mhz=None) -> None:
+        if delta.interval_ns <= 0:
+            return
+        breakdown = self.power_model.measure(delta, freq,
+                                             device_bus_mhz=device_mhz,
+                                             channel_bus_mhz=channel_mhz)
+        seconds = delta.interval_ns * 1e-9
+        accumulate_energy(energy_j, breakdown_to_energy_dict(breakdown, seconds))
+
+    def _sample_epoch(self, time_ns: float, freq, delta,
+                      device_mhz: Optional[float]) -> EpochSample:
+        cycle_ns = self.config.cpu.cycle_ns
+        app_cpi: Dict[str, List[float]] = {}
+        for core in self.cluster.cores:
+            instr = float(delta.tic[core.core_id])
+            if instr <= 0:
+                continue
+            cpi = delta.interval_ns / (instr * cycle_ns)
+            app_cpi.setdefault(core.app_name, []).append(cpi)
+        breakdown = self.power_model.measure(delta, freq,
+                                             device_bus_mhz=device_mhz)
+        util = np.array([delta.channel_utilization(c)
+                         for c in range(self.config.org.channels)])
+        return EpochSample(
+            time_ns=time_ns,
+            bus_mhz=freq.bus_mhz,
+            app_cpi={app: float(np.mean(v)) for app, v in app_cpi.items()},
+            channel_util=util,
+            memory_power_w=breakdown.memory_w,
+        )

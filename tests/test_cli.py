@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--instructions", "25000"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "run", "figure", "timeline", "stats",
+                    "best-static"):
+            args = parser.parse_args(
+                [cmd] + (["MID1"] if cmd in ("run", "timeline", "stats",
+                                             "best-static") else
+                         ["5"] if cmd == "figure" else []))
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "table1", *SCALE)
+        assert code == 0
+        assert "Table 1" in out
+        assert "MEM1" in out
+
+    def test_run_memscale(self, capsys):
+        code, out = run_cli(capsys, "run", "ILP2", *SCALE)
+        assert code == 0
+        assert "memory energy savings" in out
+        assert "worst CPI increase" in out
+
+    def test_run_unknown_mix(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "NOPE", *SCALE])
+
+    def test_run_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "MID1", "--policy", "Bogus", *SCALE])
+
+    def test_run_with_custom_bound(self, capsys):
+        code, out = run_cli(capsys, "run", "ILP2", "--bound", "0.05", *SCALE)
+        assert code == 0
+
+    def test_stats(self, capsys):
+        code, out = run_cli(capsys, "stats", "MID3", *SCALE)
+        assert code == 0
+        assert "apsi" in out
+        assert "bank entropy" in out
+
+    def test_timeline(self, capsys):
+        code, out = run_cli(capsys, "timeline", "ILP2", *SCALE)
+        assert code == 0
+        assert "bus MHz" in out
+
+    def test_figure_5(self, capsys):
+        code, out = run_cli(capsys, "figure", "5", *SCALE)
+        assert code == 0
+        assert "fig5_6_energy_savings" in out
+        assert "MEM1" in out
+
+    def test_figure_unsupported(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "7", *SCALE])
+
+    def test_best_static(self, capsys):
+        code, out = run_cli(capsys, "best-static", "ILP2", *SCALE)
+        assert code == 0
+        assert "best static frequency" in out
+        assert "MemScale" in out

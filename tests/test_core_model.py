@@ -1,0 +1,207 @@
+"""Tests for the trace-driven in-order core model."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.cpu.core_model import Core, CpuCluster
+from repro.cpu.trace import CoreTrace
+from repro.memsim.controller import MemoryController
+from repro.memsim.engine import EventEngine
+
+CFG = scaled_config()
+
+
+def make_trace(gaps, app="test", wb_every=0):
+    gaps = np.asarray(gaps, dtype=np.int64)
+    n = len(gaps)
+    reads = np.arange(n, dtype=np.int64) * 64  # spread over banks
+    if wb_every:
+        wbs = np.where(np.arange(n) % wb_every == 0,
+                       reads + 7, -1).astype(np.int64)
+    else:
+        wbs = np.full(n, -1, dtype=np.int64)
+    return CoreTrace(app_name=app, app_id=0, gaps=gaps,
+                     read_addrs=reads, wb_addrs=wbs)
+
+
+def make_system(traces, loop=True):
+    engine = EventEngine()
+    controller = MemoryController(engine, CFG, refresh_enabled=False,
+                                  n_cores=len(traces))
+    cluster = CpuCluster(engine, controller, CFG.cpu, traces,
+                         loop_traces=loop)
+    return engine, controller, cluster
+
+
+class TestSingleCore:
+    def test_empty_trace_rejected(self):
+        engine = EventEngine()
+        controller = MemoryController(engine, CFG, refresh_enabled=False,
+                                      n_cores=1)
+        empty = CoreTrace("x", 0, np.zeros(0, np.int64),
+                          np.zeros(0, np.int64), np.zeros(0, np.int64))
+        with pytest.raises(ValueError):
+            Core(engine, controller, CFG.cpu, empty, core_id=0)
+
+    def test_replay_commits_all_instructions(self):
+        engine, controller, cluster = make_system(
+            [make_trace([100, 200, 300])], loop=False)
+        cluster.start()
+        engine.run()
+        core = cluster.cores[0]
+        assert core.finished
+        # gaps plus one committed instruction per completed miss
+        assert core.instructions_committed == 600 + 3
+        assert core.misses_issued == 3
+
+    def test_counters_match_core_state(self):
+        engine, controller, cluster = make_system(
+            [make_trace([50, 50])], loop=False)
+        cluster.start()
+        engine.run()
+        assert controller.counters.tic[0] == cluster.cores[0].instructions_committed
+        assert controller.counters.tlm[0] == 2
+
+    def test_compute_time_respects_cpi_cpu(self):
+        engine, controller, cluster = make_system(
+            [make_trace([1000])], loop=False)
+        cluster.start()
+        engine.run()
+        core = cluster.cores[0]
+        compute_ns = 1000 * CFG.cpu.cpi_cpu * CFG.cpu.cycle_ns
+        # total time is compute plus one memory round trip
+        assert engine.now >= compute_ns
+        assert engine.now < compute_ns + 200.0
+
+    def test_blocking_one_outstanding_miss(self):
+        engine, controller, cluster = make_system(
+            [make_trace([10, 10, 10])], loop=False)
+        cluster.start()
+        core = cluster.cores[0]
+        # run a tiny bit past the first issue: the core must be blocked
+        engine.run_until(10 * CFG.cpu.cpi_cpu * CFG.cpu.cycle_ns + 1.0)
+        assert core.blocked
+        engine.run()
+        assert not core.blocked
+
+    def test_trace_wraps_when_looping(self):
+        engine, controller, cluster = make_system([make_trace([10, 10])],
+                                                  loop=True)
+        cluster.start()
+        engine.run_until(5_000.0)
+        core = cluster.cores[0]
+        assert core.trace_passes >= 1
+        assert core.misses_issued > 2
+
+    def test_writebacks_do_not_block(self):
+        t_with = make_trace([100, 100], wb_every=1)
+        t_without = make_trace([100, 100])
+        e1, _, c1 = make_system([t_with], loop=False)
+        e2, _, c2 = make_system([t_without], loop=False)
+        c1.start()
+        c2.start()
+        e1.run()
+        e2.run()
+        # writebacks may add queueing but no synchronous stall: same
+        # order of magnitude completion
+        assert e1.now < e2.now * 1.5
+
+    def test_double_start_rejected(self):
+        engine, controller, cluster = make_system([make_trace([10])])
+        cluster.start()
+        with pytest.raises(RuntimeError):
+            cluster.cores[0].start()
+
+
+class TestTargets:
+    def test_time_at_target_recorded(self):
+        engine, controller, cluster = make_system([make_trace([100, 100])],
+                                                  loop=True)
+        cluster.set_target(150)
+        cluster.start()
+        engine.run_until(10_000.0)
+        core = cluster.cores[0]
+        assert core.reached_target
+        assert 0 < core.time_at_target_ns <= 10_000.0
+
+    def test_target_monotone_with_size(self):
+        times = []
+        for target in (100, 200):
+            engine, controller, cluster = make_system(
+                [make_trace([100, 100])], loop=True)
+            cluster.set_target(target)
+            cluster.start()
+            engine.run_until(10_000.0)
+            times.append(cluster.cores[0].time_at_target_ns)
+        assert times[0] < times[1]
+
+    def test_invalid_target_rejected(self):
+        engine, controller, cluster = make_system([make_trace([10])])
+        with pytest.raises(ValueError):
+            cluster.set_target(0)
+
+    def test_all_reached_target(self):
+        engine, controller, cluster = make_system(
+            [make_trace([10, 10]), make_trace([5000, 5000])], loop=True)
+        cluster.set_target(30)
+        cluster.start()
+        engine.run_until(100.0)
+        assert not cluster.all_reached_target()
+        engine.run_until(50_000.0)
+        assert cluster.all_reached_target()
+
+
+class TestProgressiveCommit:
+    def test_sync_commits_partial_gap(self):
+        engine, controller, cluster = make_system([make_trace([10_000])],
+                                                  loop=False)
+        cluster.start()
+        # halfway through the compute gap
+        halfway_ns = 5_000 * CFG.cpu.cpi_cpu * CFG.cpu.cycle_ns
+        engine.run_until(halfway_ns)
+        cluster.sync_committed()
+        committed = cluster.cores[0].instructions_committed
+        assert committed == pytest.approx(5_000, abs=2)
+
+    def test_sync_is_idempotent_at_same_time(self):
+        engine, controller, cluster = make_system([make_trace([1000])],
+                                                  loop=False)
+        cluster.start()
+        engine.run_until(100.0)
+        cluster.sync_committed()
+        first = cluster.cores[0].instructions_committed
+        cluster.sync_committed()
+        assert cluster.cores[0].instructions_committed == first
+
+    def test_total_unchanged_by_syncing(self):
+        # With and without mid-run syncs, the final committed count match.
+        engine1, _, c1 = make_system([make_trace([100, 100, 100])],
+                                     loop=False)
+        c1.start()
+        engine1.run()
+        total_plain = c1.cores[0].instructions_committed
+
+        engine2, _, c2 = make_system([make_trace([100, 100, 100])],
+                                     loop=False)
+        c2.start()
+        while engine2.step():
+            c2.sync_committed()
+        assert c2.cores[0].instructions_committed == total_plain
+
+
+class TestCluster:
+    def test_requires_traces(self):
+        engine = EventEngine()
+        controller = MemoryController(engine, CFG, refresh_enabled=False,
+                                      n_cores=1)
+        with pytest.raises(ValueError):
+            CpuCluster(engine, controller, CFG.cpu, [])
+
+    def test_min_instructions_committed(self):
+        engine, controller, cluster = make_system(
+            [make_trace([10]), make_trace([10_000])], loop=False)
+        cluster.start()
+        engine.run()
+        assert (cluster.min_instructions_committed()
+                == min(c.instructions_committed for c in cluster.cores))

@@ -1,0 +1,91 @@
+"""Unit tests for the SER energy model (Eq. 10)."""
+
+import pytest
+
+from repro.config import default_config
+from repro.core.energy_model import EnergyModel, rest_of_system_power_w
+from repro.core.frequency import FrequencyLadder
+from tests.conftest import make_delta
+
+CFG = default_config()
+LADDER = FrequencyLadder(CFG)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel(CFG, rest_power_w=40.0)
+
+
+class TestRestOfSystemPower:
+    def test_forty_percent_fraction(self):
+        # DIMMs at 40% of system => rest is 1.5x the DIMM power
+        assert rest_of_system_power_w(20.0, 0.40) == pytest.approx(30.0)
+
+    def test_fifty_percent_fraction(self):
+        assert rest_of_system_power_w(20.0, 0.50) == pytest.approx(20.0)
+
+    def test_thirty_percent_fraction(self):
+        assert rest_of_system_power_w(30.0, 0.30) == pytest.approx(70.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            rest_of_system_power_w(20.0, 0.0)
+        with pytest.raises(ValueError):
+            rest_of_system_power_w(20.0, 1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            rest_of_system_power_w(-1.0, 0.4)
+
+
+class TestEnergyModel:
+    def test_rejects_negative_rest_power(self):
+        with pytest.raises(ValueError):
+            EnergyModel(CFG, rest_power_w=-1.0)
+
+    def test_ser_is_one_at_base_frequency(self, model):
+        delta = make_delta(CFG)
+        base = LADDER.fastest
+        est = model.estimate(delta, base, base, base)
+        assert est.ser == pytest.approx(1.0)
+        assert est.memory_energy_ratio == pytest.approx(1.0)
+
+    def test_ser_below_one_for_compute_bound_at_low_freq(self, model):
+        # Almost no misses: slowing memory costs ~nothing, saves power.
+        delta = make_delta(CFG, tlm_per_core=0.5, bto=0.0, cto=0.0,
+                           reads=2.0, writes=0.0, busy_frac=0.001)
+        base = LADDER.fastest
+        est = model.estimate(delta, base, LADDER.slowest, base)
+        assert est.ser < 1.0
+
+    def test_memory_ratio_leq_ser_benefit(self, model):
+        # Memory-only ratio ignores the rest-of-system penalty, so it is
+        # at most the SER for any slowdown >= 0.
+        delta = make_delta(CFG, tlm_per_core=50.0)
+        base = LADDER.fastest
+        est = model.estimate(delta, base, LADDER.slowest, base)
+        assert est.memory_energy_ratio <= est.ser + 1e-9
+
+    def test_estimate_reports_candidate_frequency(self, model):
+        delta = make_delta(CFG)
+        est = model.estimate(delta, LADDER.fastest,
+                             LADDER.at_bus_mhz(333.0), LADDER.fastest)
+        assert est.freq_bus_mhz == 333.0
+        assert est.time_scale >= 1.0
+        assert est.system_power_w > model.rest_power_w
+
+    def test_high_rest_power_penalizes_slowdowns(self):
+        # With a huge rest-of-system draw, slowing down should look bad.
+        delta = make_delta(CFG, tlm_per_core=100.0, bto=200.0, cto=200.0)
+        base = LADDER.fastest
+        cheap_rest = EnergyModel(CFG, rest_power_w=1.0)
+        costly_rest = EnergyModel(CFG, rest_power_w=500.0)
+        ser_cheap = cheap_rest.estimate(delta, base, LADDER.slowest, base).ser
+        ser_costly = costly_rest.estimate(delta, base, LADDER.slowest,
+                                          base).ser
+        assert ser_costly > ser_cheap
+
+    def test_models_are_shared_or_constructed(self):
+        m = EnergyModel(CFG, rest_power_w=10.0)
+        assert m.perf_model is not None
+        assert m.power_model is not None

@@ -1,0 +1,168 @@
+"""Unit and property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memsim.engine import EventEngine, SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert EventEngine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert EventEngine(start_time_ns=42.0).now == 42.0
+
+    def test_schedule_and_step(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append(engine.now))
+        assert engine.step() is True
+        assert fired == [5.0]
+        assert engine.now == 5.0
+
+    def test_step_empty_returns_false(self):
+        assert EventEngine().step() is False
+
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(10.0, lambda: order.append("late"))
+        engine.schedule(1.0, lambda: order.append("early"))
+        engine.schedule(5.0, lambda: order.append("middle"))
+        engine.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = EventEngine()
+        order = []
+        for i in range(5):
+            engine.schedule(3.0, lambda i=i: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_raises(self):
+        engine = EventEngine()
+        engine.schedule(10.0, lambda: None)
+        engine.step()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            EventEngine().schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        engine = EventEngine()
+        fired = []
+
+        def outer():
+            fired.append(("outer", engine.now))
+            engine.schedule(2.0, lambda: fired.append(("inner", engine.now)))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+
+    def test_pending_excludes_cancelled(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        handle = engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert engine.pending == 1
+
+
+class TestRunUntil:
+    def test_advances_clock_even_when_queue_empty(self):
+        engine = EventEngine()
+        engine.run_until(100.0)
+        assert engine.now == 100.0
+
+    def test_runs_events_up_to_and_including_boundary(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.schedule(10.5, lambda: fired.append(10.5))
+        engine.run_until(10.0)
+        assert fired == [5, 10]
+        assert engine.now == 10.0
+        engine.run_until(11.0)
+        assert fired == [5, 10, 10.5]
+
+    def test_backwards_raises(self):
+        engine = EventEngine()
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_peek_time(self):
+        engine = EventEngine()
+        assert engine.peek_time() is None
+        engine.schedule(7.0, lambda: None)
+        assert engine.peek_time() == 7.0
+
+
+class TestRun:
+    def test_max_events_limit(self):
+        engine = EventEngine()
+        fired = []
+
+        def recur():
+            fired.append(engine.now)
+            engine.schedule(1.0, recur)
+
+        engine.schedule(0.0, recur)
+        engine.run(max_events=10)
+        assert len(fired) == 10
+
+    def test_events_processed_counter(self):
+        engine = EventEngine()
+        for i in range(4):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert engine.events_processed == 4
+
+
+class TestOrderingProperty:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50))
+    def test_fire_times_are_sorted(self, delays):
+        engine = EventEngine()
+        fire_times = []
+        for d in delays:
+            engine.schedule(d, lambda: fire_times.append(engine.now))
+        engine.run()
+        assert fire_times == sorted(fire_times)
+        assert len(fire_times) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_run_until_partitions_events(self, delays, cutoff):
+        engine = EventEngine()
+        fired = []
+        for d in delays:
+            engine.schedule(d, lambda d=d: fired.append(d))
+        engine.run_until(cutoff)
+        assert all(d <= cutoff for d in fired)
+        assert sorted(fired) == sorted(d for d in delays if d <= cutoff)

@@ -1,0 +1,88 @@
+"""Tests for the programmatic experiment API (tiny scales)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.sim import experiments
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+
+SMALL = RunnerSettings(instructions_per_core=30_000, seed=5)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(config=scaled_config(), settings=SMALL)
+
+
+class TestEnergySavings:
+    def test_rows_per_mix(self, runner):
+        result = experiments.energy_savings(runner, mixes=["ILP2", "MID1"])
+        assert [r["workload"] for r in result.rows] == ["ILP2", "MID1"]
+        for row in result.rows:
+            assert row["policy"] == "MemScale"
+            assert -1.0 < row["memory_savings"] < 1.0
+            assert row["worst_cpi_increase"] >= row["avg_cpi_increase"] - 1e-9
+
+    def test_column_accessor(self, runner):
+        result = experiments.energy_savings(runner, mixes=["ILP2"])
+        assert result.column("workload") == ["ILP2"]
+
+
+class TestPolicyComparison:
+    def test_policies_times_mixes(self, runner):
+        result = experiments.policy_comparison(
+            runner, mixes=["MID1"], policies=["Fast-PD", "Static"])
+        assert len(result.rows) == 2
+        assert {r["policy"] for r in result.rows} == {"Fast-PD",
+                                                      "Static-467MHz"}
+
+
+class TestSweeps:
+    def test_cpi_bound_sweep_shape(self):
+        result = experiments.sensitivity_cpi_bound(
+            bounds=(0.02, 0.10), settings=SMALL, mixes=["MID1"])
+        assert len(result.rows) == 2
+        assert [r["cpi_bound"] for r in result.rows] == [0.02, 0.10]
+        # looser bound saves at least as much energy
+        assert (result.rows[1]["system_savings"]
+                >= result.rows[0]["system_savings"] - 0.02)
+
+    def test_channels_sweep_shape(self):
+        result = experiments.sensitivity_channels(
+            channels=(2, 4), settings=SMALL, mixes=["MID1"])
+        assert [r["channels"] for r in result.rows] == [2, 4]
+
+    def test_memory_fraction_sweep_direction(self):
+        result = experiments.sensitivity_memory_fraction(
+            fractions=(0.3, 0.5), settings=SMALL, mixes=["MID1"])
+        assert (result.rows[1]["system_savings"]
+                > result.rows[0]["system_savings"])
+
+    def test_proportionality_sweep_direction(self):
+        result = experiments.sensitivity_proportionality(
+            idle_fracs=(0.0, 1.0), settings=SMALL, mixes=["MID1"])
+        assert (result.rows[1]["system_savings"]
+                > result.rows[0]["system_savings"])
+
+
+class TestTimeline:
+    def test_rows_match_epochs(self, runner):
+        result = experiments.timeline(runner, "MID1")
+        assert len(result.rows) >= 1
+        for row in result.rows:
+            assert row["bus_mhz"] in runner.config.bus_freqs_mhz
+            assert 0.0 <= row["mean_channel_util"] <= 1.0
+            assert row["memory_power_w"] > 0
+
+
+class TestBestStatic:
+    def test_oracle_satisfies_bound(self, runner):
+        bus_mhz, cmp = experiments.best_static_frequency(runner, "MID1")
+        assert bus_mhz in runner.config.bus_freqs_mhz
+        assert cmp.worst_cpi_increase <= runner.config.policy.cpi_bound
+        assert cmp.system_energy_savings > 0
+
+    def test_impossible_bound_raises(self, runner):
+        with pytest.raises(RuntimeError):
+            experiments.best_static_frequency(runner, "MEM1",
+                                              cpi_bound=-1.0)

@@ -1,0 +1,145 @@
+"""Tests for the per-channel DFS extension (Section 6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.core.energy_model import EnergyModel
+from repro.core.extensions import PerChannelMemScaleGovernor
+from repro.core.policy import MemScalePolicy
+from repro.core.power_model import PowerModel
+from repro.core.frequency import FrequencyLadder
+from repro.memsim.controller import MemoryController
+from repro.memsim.engine import EventEngine
+from tests.conftest import make_delta
+
+CFG = scaled_config()
+LADDER = FrequencyLadder(CFG)
+
+
+def make_governor(n_cores=4):
+    energy = EnergyModel(CFG, rest_power_w=40.0)
+    policy = MemScalePolicy(CFG, energy, n_cores=n_cores)
+    return PerChannelMemScaleGovernor(policy)
+
+
+def make_controller():
+    engine = EventEngine()
+    return engine, MemoryController(engine, CFG, refresh_enabled=False,
+                                    n_cores=4)
+
+
+class TestControllerPerChannel:
+    def test_channels_default_to_global_frequency(self):
+        engine, mc = make_controller()
+        mc.set_frequency_by_bus_mhz(400.0)
+        assert all(f == 400.0 for f in mc.channel_bus_mhz_list())
+
+    def test_channel_override(self):
+        engine, mc = make_controller()
+        penalty = mc.set_channel_frequency(2, mc.ladder.at_bus_mhz(333.0))
+        assert penalty > 0
+        assert mc.channel_freq(2).bus_mhz == 333.0
+        assert mc.channel_freq(0).bus_mhz == 800.0
+
+    def test_same_channel_frequency_is_free(self):
+        engine, mc = make_controller()
+        assert mc.set_channel_frequency(1, mc.freq) == 0.0
+
+    def test_global_change_clears_overrides(self):
+        engine, mc = make_controller()
+        mc.set_channel_frequency(1, mc.ladder.at_bus_mhz(200.0))
+        mc.set_frequency_by_bus_mhz(467.0)
+        assert mc.channel_freq(1).bus_mhz == 467.0
+
+    def test_invalid_channel_rejected(self):
+        engine, mc = make_controller()
+        with pytest.raises(ValueError):
+            mc.set_channel_frequency(99, mc.ladder.fastest)
+
+    def test_burst_uses_channel_clock(self):
+        from repro.memsim.request import MemRequest, RequestKind
+        from repro.memsim.address import MemoryLocation
+        engine, mc = make_controller()
+        mc.set_channel_frequency(0, mc.ladder.at_bus_mhz(200.0))
+        engine.run_until(mc.frozen_until_ns)
+        done = []
+        req = MemRequest(RequestKind.READ,
+                         MemoryLocation(0, 0, 0, 0, 0),
+                         on_complete=lambda r: done.append(r))
+        mc.submit(req)
+        engine.run()
+        # burst at 200 MHz: 20 ns instead of 5 ns
+        assert req.complete_ns - req.bus_start_ns == pytest.approx(20.0)
+
+
+class TestPowerModelPerChannel:
+    def test_per_channel_background_derating(self):
+        model = PowerModel(CFG)
+        delta = make_delta(CFG)
+        uniform = model.measure(delta, LADDER.fastest)
+        mixed = model.measure(delta, LADDER.fastest,
+                              channel_bus_mhz=[800.0, 800.0, 200.0, 200.0])
+        assert mixed.background_w < uniform.background_w
+        assert mixed.pll_reg_w < uniform.pll_reg_w
+        assert mixed.mc_w == pytest.approx(uniform.mc_w)
+
+    def test_uniform_list_matches_scalar_path(self):
+        model = PowerModel(CFG)
+        delta = make_delta(CFG)
+        scalar = model.measure(delta, LADDER.fastest)
+        listed = model.measure(delta, LADDER.fastest,
+                               channel_bus_mhz=[800.0] * 4)
+        assert listed.background_w == pytest.approx(scalar.background_w)
+        assert listed.pll_reg_w == pytest.approx(scalar.pll_reg_w, rel=0.02)
+
+    def test_wrong_length_rejected(self):
+        model = PowerModel(CFG)
+        with pytest.raises(ValueError):
+            model.measure(make_delta(CFG), LADDER.fastest,
+                          channel_bus_mhz=[800.0])
+
+
+class TestPerChannelGovernor:
+    def test_reports_channel_clocks(self):
+        gov = make_governor()
+        engine, mc = make_controller()
+        assert gov.channel_bus_mhz(mc) == [800.0] * 4
+
+    def test_balanced_load_never_drops(self):
+        gov = make_governor()
+        engine, mc = make_controller()
+        delta = make_delta(CFG, tlm_per_core=20.0)  # even channel split
+        gov.on_profile_end(delta, mc, CFG.policy.epoch_ns)
+        assert gov.per_channel_drops == 0
+        freqs = set(mc.channel_bus_mhz_list())
+        assert len(freqs) == 1
+
+    def test_skewed_load_drops_cold_channels(self):
+        import dataclasses
+        gov = make_governor()
+        engine, mc = make_controller()
+        delta = make_delta(CFG, tlm_per_core=20.0, busy_frac=0.1)
+        # concentrate traffic on channel 0
+        busy = delta.channel_busy_ns.copy()
+        busy[:] = [8000.0, 10.0, 10.0, 10.0]
+        reads = delta.channel_reads.copy()
+        reads[:] = [1000.0, 2.0, 2.0, 2.0]
+        delta = dataclasses.replace(delta, channel_busy_ns=busy,
+                                    channel_reads=reads)
+        gov.on_profile_end(delta, mc, CFG.policy.epoch_ns)
+        freqs = mc.channel_bus_mhz_list()
+        if gov.policy.decisions[-1].chosen.index < len(mc.ladder) - 1:
+            assert gov.per_channel_drops >= 1
+            assert min(freqs[1:]) < freqs[0] or len(set(freqs)) > 1
+
+    def test_no_refinement_at_ladder_floor(self):
+        gov = make_governor()
+        engine, mc = make_controller()
+        # compute-bound: the global decision lands on the slowest point,
+        # leaving nothing lower for refinement
+        delta = make_delta(CFG, tlm_per_core=0.2, bto=0.0, cto=0.0,
+                           reads=1.0, writes=0.0, busy_frac=0.0005)
+        gov.on_profile_end(delta, mc, CFG.policy.epoch_ns)
+        if mc.freq.bus_mhz == 200.0:
+            assert gov.per_channel_drops == 0

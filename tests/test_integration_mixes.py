@@ -1,0 +1,78 @@
+"""Cross-mix integration tests: the headline claims on every workload.
+
+These use small traces (fast) but exercise the full pipeline — trace
+generation, both simulation runs, models, policy, comparison — for all
+twelve Table 1 mixes and both policy variants.
+"""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.cpu.workloads import MIXES, mix_names
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+
+CFG = scaled_config()
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(
+        config=CFG,
+        settings=RunnerSettings(instructions_per_core=50_000, seed=21))
+
+
+@pytest.mark.parametrize("mix", list(MIXES))
+def test_memscale_saves_memory_energy_on_every_mix(runner, mix):
+    _, cmp = runner.run_memscale(mix)
+    assert cmp.memory_energy_savings > 0.03, mix
+
+
+@pytest.mark.parametrize("mix", list(MIXES))
+def test_cpi_bound_respected_on_every_mix(runner, mix):
+    _, cmp = runner.run_memscale(mix)
+    assert cmp.worst_cpi_increase <= CFG.policy.cpi_bound + 0.025, mix
+
+
+@pytest.mark.parametrize("mix", mix_names("MID"))
+def test_static_policy_within_bound_on_mid(runner, mix):
+    cmp = runner.compare_named(mix, "Static")
+    assert cmp.worst_cpi_increase <= CFG.policy.cpi_bound
+
+
+@pytest.mark.parametrize("mix", ["MID1", "MID3"])
+def test_memscale_beats_fast_pd(runner, mix):
+    fast_pd = runner.compare_named(mix, "Fast-PD")
+    _, memscale = runner.run_memscale(mix)
+    assert (memscale.memory_energy_savings
+            > fast_pd.memory_energy_savings)
+
+
+@pytest.mark.parametrize("mix", ["MID1", "MID3"])
+def test_memscale_beats_decoupled(runner, mix):
+    decoupled = runner.compare_named(mix, "Decoupled")
+    _, memscale = runner.run_memscale(mix)
+    assert (memscale.system_energy_savings
+            > decoupled.system_energy_savings)
+
+
+def test_slow_pd_degrades_more_than_fast_pd(runner):
+    slow = runner.compare_named("MID1", "Slow-PD")
+    fast = runner.compare_named("MID1", "Fast-PD")
+    assert slow.worst_cpi_increase > fast.worst_cpi_increase
+
+
+def test_memenergy_saves_at_least_as_much_memory(runner):
+    _, system = runner.run_memscale("MID1")
+    mem_only = runner.compare_named("MID1", "MemScale(MemEnergy)")
+    assert (mem_only.memory_energy_savings
+            >= system.memory_energy_savings - 0.03)
+
+
+def test_memory_mixes_run_at_higher_frequency_than_ilp(runner):
+    ilp_result, _ = runner.run_memscale("ILP2")
+    mem_result, _ = runner.run_memscale("MEM1")
+    ilp_mean = sum(s.bus_mhz for s in ilp_result.timeline) / len(
+        ilp_result.timeline)
+    mem_mean = sum(s.bus_mhz for s in mem_result.timeline) / len(
+        mem_result.timeline)
+    assert mem_mean > ilp_mean

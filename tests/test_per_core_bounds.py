@@ -1,0 +1,105 @@
+"""Tests for per-application (per-core) performance bounds.
+
+Section 3.1: "the degradation limit is defined by users on a
+per-application basis". A tighter bound on some cores must constrain
+the policy more than a uniform loose bound, and slack must accrue at
+each core's own gamma.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.core.energy_model import EnergyModel
+from repro.core.frequency import FrequencyLadder
+from repro.core.governor import MemScaleGovernor
+from repro.core.policy import MemScalePolicy
+from repro.sim.results import compare_to_baseline
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+from repro.sim.system import SystemSimulator
+from tests.conftest import make_delta
+
+CFG = scaled_config()
+LADDER = FrequencyLadder(CFG)
+
+
+def make_policy(bounds=None, n_cores=4):
+    energy = EnergyModel(CFG, rest_power_w=40.0)
+    return MemScalePolicy(CFG, energy, n_cores=n_cores,
+                          per_core_bounds=bounds)
+
+
+class TestConstruction:
+    def test_uniform_default(self):
+        policy = make_policy()
+        assert np.allclose(policy.gamma_per_core, 0.10)
+        assert policy.gamma == 0.10
+
+    def test_custom_bounds(self):
+        policy = make_policy(bounds=[0.02, 0.05, 0.10, 0.20])
+        assert policy.gamma == pytest.approx(0.02)
+        assert policy.gamma_per_core[3] == 0.20
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy(bounds=[0.1, 0.1])
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy(bounds=[0.1, -0.1, 0.1, 0.1])
+
+
+class TestSelection:
+    def test_tight_core_constrains_frequency(self):
+        delta = make_delta(CFG, tlm_per_core=120.0, bto=250.0, cto=250.0)
+        loose = make_policy(bounds=[0.15] * 4)
+        tight = make_policy(bounds=[0.15, 0.15, 0.15, 0.002])
+        f_loose = loose.select_frequency(delta, LADDER.fastest, 5e6)
+        f_tight = tight.select_frequency(delta, LADDER.fastest, 5e6)
+        assert f_tight.chosen.bus_mhz >= f_loose.chosen.bus_mhz
+
+    def test_zero_bound_on_busy_core_pins_max(self):
+        delta = make_delta(CFG, tlm_per_core=200.0, bto=300.0, cto=300.0)
+        policy = make_policy(bounds=[0.0, 0.2, 0.2, 0.2])
+        decision = policy.select_frequency(delta, LADDER.fastest, 5e6)
+        assert decision.chosen.bus_mhz == 800.0
+
+
+class TestSlack:
+    def test_slack_accrues_at_per_core_gamma(self):
+        policy = make_policy(bounds=[0.05, 0.10, 0.15, 0.20])
+        wall = 5e6
+        probe = make_delta(CFG, interval_ns=wall, tlm_per_core=0.0,
+                           tic_per_core=1.0)
+        cpi_max = policy._perf.predict(probe, LADDER.fastest, 0.0).cpi[0]
+        tic = wall / (cpi_max * CFG.cpu.cycle_ns)
+        delta = make_delta(CFG, interval_ns=wall, tlm_per_core=0.0,
+                           tic_per_core=tic)
+        policy.update_slack(delta, wall)
+        expected = np.array([0.05, 0.10, 0.15, 0.20]) * wall
+        assert np.allclose(policy.slack_ns, expected, rtol=1e-6)
+
+
+class TestEndToEnd:
+    def test_mixed_bounds_respected_in_full_run(self):
+        runner = ExperimentRunner(
+            config=CFG,
+            settings=RunnerSettings(instructions_per_core=40_000, seed=17))
+        trace = runner.trace("MID1")
+        baseline = runner.baseline("MID1")
+        # first four cores (one app instance set) get a 3% bound,
+        # the rest keep 12%
+        bounds = np.full(16, 0.12)
+        bounds[:4] = 0.03
+        energy = EnergyModel(CFG, runner.rest_power_w("MID1"))
+        policy = MemScalePolicy(CFG, energy, n_cores=16,
+                                per_core_bounds=bounds)
+        result = SystemSimulator(CFG, trace,
+                                 MemScaleGovernor(policy)).run()
+        base_cpi = baseline.core_cpi(CFG.cpu.cycle_ns)
+        run_cpi = result.core_cpi(CFG.cpu.cycle_ns)
+        increases = run_cpi / base_cpi - 1.0
+        # tightly-bounded cores stay near their 3% limit
+        assert increases[:4].max() <= 0.03 + 0.02
+        # and everyone respects their own bound
+        assert np.all(increases <= bounds + 0.025)

@@ -1,0 +1,178 @@
+"""Unit and property tests for the Eq. 2-9 performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import default_config
+from repro.core.frequency import FrequencyLadder
+from repro.core.perf_model import PerformanceModel
+from tests.conftest import make_delta
+
+CFG = default_config()
+LADDER = FrequencyLadder(CFG)
+MODEL = PerformanceModel(CFG)
+
+
+class TestDeviceTime:
+    def test_eq6_weighted_average(self):
+        delta = make_delta(CFG, rbhc=10, cbmc=80, obmc=10, epdc=0)
+        t = CFG.timings
+        expected = (t.t_cl_ns * 10
+                    + (t.t_rcd_ns + t.t_cl_ns) * 80
+                    + (t.t_rp_ns + t.t_rcd_ns + t.t_cl_ns) * 10) / 100
+        assert MODEL.device_time_ns(delta) == pytest.approx(expected)
+
+    def test_powerdown_exits_add_time(self):
+        without = MODEL.device_time_ns(make_delta(CFG, epdc=0))
+        with_pd = MODEL.device_time_ns(make_delta(CFG, epdc=50))
+        assert with_pd > without
+
+    def test_custom_pd_exit_time(self):
+        delta = make_delta(CFG, epdc=100, rbhc=0, obmc=0, cbmc=100)
+        slow = MODEL.device_time_ns(delta, pd_exit_ns=24.0)
+        fast = MODEL.device_time_ns(delta, pd_exit_ns=6.0)
+        none = MODEL.device_time_ns(delta, pd_exit_ns=0.0)
+        assert slow > fast > none
+
+    def test_no_accesses_falls_back_to_closed_bank(self):
+        delta = make_delta(CFG, rbhc=0, obmc=0, cbmc=0)
+        t = CFG.timings
+        assert MODEL.device_time_ns(delta) == pytest.approx(
+            t.t_rcd_ns + t.t_cl_ns)
+
+    def test_frequency_independent(self):
+        delta = make_delta(CFG)
+        assert MODEL.device_time_ns(delta) == MODEL.device_time_ns(delta)
+
+
+class TestQueueTerms:
+    def test_xi_includes_self(self):
+        delta = make_delta(CFG, bto=50.0, btc=100.0, cto=20.0, ctc=100.0)
+        assert MODEL.xi_bank(delta) == pytest.approx(1.5)
+        assert MODEL.xi_bus(delta) == pytest.approx(1.2)
+
+    def test_xi_floor_is_one(self):
+        delta = make_delta(CFG, bto=0.0, btc=100.0, cto=0.0, ctc=100.0)
+        assert MODEL.xi_bank(delta) == 1.0
+        assert MODEL.xi_bus(delta) == 1.0
+
+
+class TestTpiMem:
+    def test_eq9_composition(self):
+        delta = make_delta(CFG, bto=0.0, cto=0.0)
+        f = LADDER.fastest
+        expected = MODEL.s_bank_ns(delta, f) + f.burst_ns
+        assert MODEL.tpi_mem_ns(delta, f) == pytest.approx(expected)
+
+    def test_queueing_inflates_memory_time(self):
+        quiet = MODEL.tpi_mem_ns(make_delta(CFG, bto=0.0, cto=0.0),
+                                 LADDER.fastest)
+        busy = MODEL.tpi_mem_ns(make_delta(CFG, bto=200.0, cto=200.0),
+                                LADDER.fastest)
+        assert busy > quiet
+
+    def test_monotone_nonincreasing_with_frequency(self):
+        delta = make_delta(CFG)
+        times = [MODEL.tpi_mem_ns(delta, p) for p in LADDER]
+        # ladder is descending in frequency: memory time ascends
+        assert times == sorted(times)
+
+
+class TestCpiPrediction:
+    def test_cpi_floor_is_cpu_cpi(self):
+        delta = make_delta(CFG, tlm_per_core=0.0)
+        pred = MODEL.predict(delta, LADDER.fastest)
+        assert np.allclose(pred.cpi, CFG.cpu.cpi_cpu)
+
+    def test_cpi_grows_with_miss_rate(self):
+        lo = MODEL.predict(make_delta(CFG, tlm_per_core=10.0),
+                           LADDER.fastest).cpi[0]
+        hi = MODEL.predict(make_delta(CFG, tlm_per_core=100.0),
+                           LADDER.fastest).cpi[0]
+        assert hi > lo
+
+    def test_cpi_monotone_nonincreasing_with_frequency(self):
+        delta = make_delta(CFG, tlm_per_core=50.0)
+        cpis = [MODEL.predict(delta, p).cpi[0] for p in LADDER]
+        assert cpis == sorted(cpis)
+
+    def test_prediction_carries_metadata(self):
+        delta = make_delta(CFG)
+        pred = MODEL.predict(delta, LADDER.at_bus_mhz(400.0))
+        assert pred.freq_bus_mhz == 400.0
+        assert pred.xi_bank >= 1.0
+        assert pred.device_time_ns > 0
+
+    @given(st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=25, deadline=None)
+    def test_cpi_ordering_property(self, tlm):
+        delta = make_delta(CFG, tlm_per_core=tlm)
+        fast = MODEL.predict(delta, LADDER.fastest).cpi[0]
+        slow = MODEL.predict(delta, LADDER.slowest).cpi[0]
+        assert slow >= fast
+
+
+class TestQueueScaling:
+    def test_scaling_raises_predicted_queueing_at_lower_freq(self):
+        delta = make_delta(CFG, bto=300.0, cto=300.0)
+        plain = PerformanceModel(CFG, scale_queues=False)
+        scaled = PerformanceModel(CFG, scale_queues=True)
+        slow = LADDER.slowest
+        fast = LADDER.fastest
+        t_plain = plain.tpi_mem_ns(delta, slow, profiled_freq=fast)
+        t_scaled = scaled.tpi_mem_ns(delta, slow, profiled_freq=fast)
+        assert t_scaled > t_plain
+
+    def test_scaling_lowers_predicted_queueing_at_higher_freq(self):
+        delta = make_delta(CFG, bto=300.0, cto=300.0)
+        scaled = PerformanceModel(CFG, scale_queues=True)
+        plain = PerformanceModel(CFG, scale_queues=False)
+        t_scaled = scaled.tpi_mem_ns(delta, LADDER.fastest,
+                                     profiled_freq=LADDER.slowest)
+        t_plain = plain.tpi_mem_ns(delta, LADDER.fastest,
+                                   profiled_freq=LADDER.slowest)
+        assert t_scaled < t_plain
+
+    def test_no_profiled_freq_means_no_scaling(self):
+        delta = make_delta(CFG, bto=300.0, cto=300.0)
+        scaled = PerformanceModel(CFG, scale_queues=True)
+        plain = PerformanceModel(CFG, scale_queues=False)
+        assert (scaled.tpi_mem_ns(delta, LADDER.slowest)
+                == pytest.approx(plain.tpi_mem_ns(delta, LADDER.slowest)))
+
+    def test_scale_identity_at_profiled_freq(self):
+        delta = make_delta(CFG, bto=300.0, cto=300.0)
+        scaled = PerformanceModel(CFG, scale_queues=True)
+        f = LADDER.at_bus_mhz(467.0)
+        assert (scaled.tpi_mem_ns(delta, f, profiled_freq=f)
+                == pytest.approx(scaled.tpi_mem_ns(delta, f)))
+
+
+class TestTimeScale:
+    def test_identity(self):
+        delta = make_delta(CFG)
+        f = LADDER.fastest
+        assert MODEL.time_scale(delta, f, f) == pytest.approx(1.0)
+
+    def test_lower_frequency_never_faster(self):
+        delta = make_delta(CFG, tlm_per_core=50.0)
+        scale = MODEL.time_scale(delta, LADDER.fastest, LADDER.slowest)
+        assert scale >= 1.0
+
+    def test_inverse_direction_below_one(self):
+        delta = make_delta(CFG, tlm_per_core=50.0)
+        scale = MODEL.time_scale(delta, LADDER.slowest, LADDER.fastest)
+        assert scale <= 1.0
+
+    def test_zero_instructions_gives_unity(self):
+        delta = make_delta(CFG, tic_per_core=0.0, tlm_per_core=0.0)
+        assert MODEL.time_scale(delta, LADDER.fastest,
+                                LADDER.slowest) == 1.0
+
+    def test_memory_bound_scales_more(self):
+        light = make_delta(CFG, tlm_per_core=5.0)
+        heavy = make_delta(CFG, tlm_per_core=100.0)
+        s_light = MODEL.time_scale(light, LADDER.fastest, LADDER.slowest)
+        s_heavy = MODEL.time_scale(heavy, LADDER.fastest, LADDER.slowest)
+        assert s_heavy > s_light

@@ -1,0 +1,103 @@
+"""Unit and property tests for application phase schedules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.phases import FLAT, Phase, PhaseSchedule
+
+
+class TestPhase:
+    def test_valid_phase(self):
+        p = Phase(0.5, 2.0)
+        assert p.fraction == 0.5
+        assert p.intensity == 2.0
+
+    def test_rejects_zero_fraction(self):
+        with pytest.raises(ValueError):
+            Phase(0.0, 1.0)
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            Phase(1.5, 1.0)
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(ValueError):
+            Phase(0.5, -1.0)
+
+
+class TestPhaseSchedule:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule([])
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule([Phase(0.5, 1.0), Phase(0.4, 1.0)])
+
+    def test_normalizes_mean_intensity_to_one(self):
+        sched = PhaseSchedule([Phase(0.5, 2.0), Phase(0.5, 6.0)])
+        mean = sum(p.fraction * p.intensity for p in sched.phases)
+        assert mean == pytest.approx(1.0)
+
+    def test_relative_intensities_preserved(self):
+        sched = PhaseSchedule([Phase(0.5, 1.0), Phase(0.5, 3.0)])
+        ratio = sched.phases[1].intensity / sched.phases[0].intensity
+        assert ratio == pytest.approx(3.0)
+
+    def test_rejects_all_zero_intensity(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule([Phase(1.0, 0.0)])
+
+    def test_flat_schedule(self):
+        assert len(FLAT) == 1
+        assert FLAT.phases[0].intensity == pytest.approx(1.0)
+
+
+class TestSegments:
+    def test_segments_sum_to_total(self):
+        sched = PhaseSchedule([Phase(0.45, 0.25), Phase(0.55, 1.6)])
+        segs = sched.segments(100_000)
+        assert sum(n for n, _ in segs) == 100_000
+
+    def test_segment_proportions(self):
+        sched = PhaseSchedule([Phase(0.25, 1.0), Phase(0.75, 1.0)])
+        segs = sched.segments(1000)
+        assert segs[0][0] == 250
+        assert segs[1][0] == 750
+
+    def test_single_phase_single_segment(self):
+        segs = FLAT.segments(500)
+        assert segs == [(500, 1.0)]
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            FLAT.segments(0)
+
+    def test_tiny_totals_still_cover_everything(self):
+        sched = PhaseSchedule([Phase(0.45, 0.25), Phase(0.55, 1.6)])
+        for total in (1, 2, 3):
+            segs = sched.segments(total)
+            assert sum(n for n, _ in segs) == total
+            assert all(n > 0 for n, _ in segs)
+
+    @given(
+        st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=1,
+                 max_size=6),
+        st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=6,
+                 max_size=6),
+        st.integers(min_value=1, max_value=1_000_000),
+    )
+    def test_property_segments_partition_instructions(self, raw_fracs,
+                                                      intensities, total):
+        fracs = [f / sum(raw_fracs) for f in raw_fracs]
+        # repair rounding on the last fraction
+        fracs[-1] = 1.0 - sum(fracs[:-1])
+        if fracs[-1] <= 0:
+            return
+        phases = [Phase(f, i) for f, i in zip(fracs, intensities)]
+        sched = PhaseSchedule(phases)
+        segs = sched.segments(total)
+        assert sum(n for n, _ in segs) == total
+        assert all(n > 0 for n, _ in segs)
+        mean = sum(p.fraction * p.intensity for p in sched.phases)
+        assert mean == pytest.approx(1.0, rel=1e-9)

@@ -1,0 +1,203 @@
+"""Unit tests for the MemScale OS policy (slack accounting, selection)."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core.energy_model import EnergyModel
+from repro.core.frequency import FrequencyLadder
+from repro.core.policy import MemScalePolicy, PolicyObjective
+from tests.conftest import make_delta
+
+CFG = default_config()
+LADDER = FrequencyLadder(CFG)
+N_CORES = 4
+
+
+def make_policy(objective=PolicyObjective.SYSTEM_ENERGY, rest_power_w=40.0,
+                config=CFG):
+    energy = EnergyModel(config, rest_power_w=rest_power_w)
+    return MemScalePolicy(config, energy, n_cores=N_CORES,
+                          objective=objective)
+
+
+class TestConstruction:
+    def test_slack_starts_at_zero(self):
+        policy = make_policy()
+        assert np.all(policy.slack_ns == 0.0)
+
+    def test_gamma_from_config(self):
+        assert make_policy().gamma == 0.10
+
+    def test_rejects_nonpositive_cores(self):
+        energy = EnergyModel(CFG, rest_power_w=10.0)
+        with pytest.raises(ValueError):
+            MemScalePolicy(CFG, energy, n_cores=0)
+
+
+class TestSelection:
+    def test_compute_bound_selects_low_frequency(self):
+        policy = make_policy()
+        delta = make_delta(CFG, tlm_per_core=0.5, bto=0.0, cto=0.0,
+                           reads=2.0, writes=0.0, busy_frac=0.001)
+        decision = policy.select_frequency(delta, LADDER.fastest,
+                                           epoch_remaining_ns=5e6)
+        assert decision.chosen.bus_mhz < 400.0
+        assert len(decision.feasible) == len(LADDER)
+
+    def test_memory_bound_keeps_higher_frequency(self):
+        policy = make_policy()
+        delta = make_delta(CFG, tlm_per_core=300.0, bto=400.0, cto=400.0,
+                           tic_per_core=10_000.0)
+        decision = policy.select_frequency(delta, LADDER.fastest,
+                                           epoch_remaining_ns=5e6)
+        compute_bound = make_policy().select_frequency(
+            make_delta(CFG, tlm_per_core=0.5), LADDER.fastest,
+            epoch_remaining_ns=5e6)
+        assert decision.chosen.bus_mhz >= compute_bound.chosen.bus_mhz
+
+    def test_deep_negative_slack_forces_max_frequency(self):
+        policy = make_policy()
+        policy.slack_ns[:] = -1e9
+        delta = make_delta(CFG)
+        decision = policy.select_frequency(delta, LADDER.fastest,
+                                           epoch_remaining_ns=5e6)
+        assert decision.chosen.bus_mhz == LADDER.fastest.bus_mhz
+        assert decision.feasible == []
+
+    def test_positive_slack_allows_lower_frequency(self):
+        tight = make_policy()
+        relaxed = make_policy()
+        relaxed.slack_ns[:] = 1e9
+        delta = make_delta(CFG, tlm_per_core=150.0, bto=300.0, cto=300.0)
+        f_tight = tight.select_frequency(delta, LADDER.fastest, 5e6)
+        f_relaxed = relaxed.select_frequency(delta, LADDER.fastest, 5e6)
+        assert f_relaxed.chosen.bus_mhz <= f_tight.chosen.bus_mhz
+
+    def test_decisions_are_logged(self):
+        policy = make_policy()
+        delta = make_delta(CFG)
+        policy.select_frequency(delta, LADDER.fastest, 5e6)
+        policy.select_frequency(delta, LADDER.fastest, 5e6)
+        assert len(policy.decisions) == 2
+
+    def test_rejects_nonpositive_remaining(self):
+        policy = make_policy()
+        with pytest.raises(ValueError):
+            policy.select_frequency(make_delta(CFG), LADDER.fastest, 0.0)
+
+    def test_zero_gamma_pins_max_frequency_under_load(self):
+        cfg = CFG.with_policy(cpi_bound=0.0)
+        policy = make_policy(config=cfg)
+        delta = make_delta(cfg, tlm_per_core=200.0, bto=300.0, cto=300.0)
+        decision = policy.select_frequency(delta, LADDER.fastest, 5e6)
+        assert decision.chosen.bus_mhz == 800.0
+
+    def test_larger_bound_allows_lower_frequency(self):
+        delta_kwargs = dict(tlm_per_core=120.0, bto=250.0, cto=250.0)
+        chosen = {}
+        for bound in (0.01, 0.15):
+            cfg = CFG.with_policy(cpi_bound=bound)
+            policy = make_policy(config=cfg)
+            decision = policy.select_frequency(
+                make_delta(cfg, **delta_kwargs), LADDER.fastest, 5e6)
+            chosen[bound] = decision.chosen.bus_mhz
+        assert chosen[0.15] <= chosen[0.01]
+
+
+class TestObjectives:
+    def test_memory_objective_never_picks_higher_freq(self):
+        # Memory-only energy is monotone decreasing in frequency, so the
+        # MemEnergy policy picks a frequency at most that of SER.
+        delta = make_delta(CFG, tlm_per_core=30.0)
+        ser_choice = make_policy(PolicyObjective.SYSTEM_ENERGY) \
+            .select_frequency(delta, LADDER.fastest, 5e6).chosen.bus_mhz
+        mem_choice = make_policy(PolicyObjective.MEMORY_ENERGY) \
+            .select_frequency(delta, LADDER.fastest, 5e6).chosen.bus_mhz
+        assert mem_choice <= ser_choice
+
+
+class TestSlackAccounting:
+    def test_fast_epoch_accumulates_slack(self):
+        policy = make_policy()
+        # epoch ran at max frequency: achieved == T_maxfreq
+        delta = make_delta(CFG, interval_ns=5e6, tic_per_core=2.4e6,
+                           tlm_per_core=0.0)
+        # each core committed so that t_max ~= wall (cpi_cpu * tic * cycle)
+        wall = CFG.cpu.cpi_cpu * 2.4e6 * CFG.cpu.cycle_ns
+        policy.update_slack(delta, epoch_wall_ns=wall)
+        # target is 1.1x the max-freq time: slack grows by ~0.1 wall
+        assert np.all(policy.slack_ns > 0.09 * wall)
+
+    def test_slow_epoch_burns_slack(self):
+        policy = make_policy()
+        delta = make_delta(CFG, interval_ns=5e6, tic_per_core=1.0e6,
+                           tlm_per_core=0.0)
+        t_max = CFG.cpu.cpi_cpu * 1.0e6 * CFG.cpu.cycle_ns
+        wall = t_max * 2.0  # ran twice as slow as the max-freq estimate
+        policy.update_slack(delta, epoch_wall_ns=wall)
+        assert np.all(policy.slack_ns < 0)
+
+    def test_slack_is_cumulative(self):
+        policy = make_policy()
+        delta = make_delta(CFG, interval_ns=5e6, tic_per_core=2.0e6,
+                           tlm_per_core=0.0)
+        wall = CFG.cpu.cpi_cpu * 2.0e6 * CFG.cpu.cycle_ns
+        policy.update_slack(delta, wall)
+        first = policy.slack_ns.copy()
+        policy.update_slack(delta, wall)
+        assert np.allclose(policy.slack_ns, 2 * first)
+
+    def test_t_maxfreq_clamped_to_wall(self):
+        # Even if the model wildly overestimates max-frequency CPI, slack
+        # gain per epoch cannot exceed gamma * wall.
+        policy = make_policy()
+        delta = make_delta(CFG, interval_ns=5e6, tic_per_core=1e9,
+                           tlm_per_core=0.0)
+        policy.update_slack(delta, epoch_wall_ns=5e6)
+        assert np.all(policy.slack_ns <= 0.1 * 5e6 + 1e-6)
+
+    def test_idle_core_skipped(self):
+        policy = make_policy()
+        delta = make_delta(CFG, tic_per_core=0.0, tlm_per_core=0.0)
+        policy.update_slack(delta, epoch_wall_ns=5e6)
+        assert np.all(policy.slack_ns == 0.0)
+
+    def test_rejects_nonpositive_wall(self):
+        with pytest.raises(ValueError):
+            make_policy().update_slack(make_delta(CFG), 0.0)
+
+
+class TestBoundedBehaviour:
+    def test_epochs_at_max_frequency_gain_gamma_per_epoch(self):
+        """Running exactly at the max-frequency estimate accrues gamma *
+        wall slack per epoch — the Eq. 1 arithmetic, iterated."""
+        policy = make_policy()
+        wall = 5e6
+        delta = make_delta(CFG, interval_ns=wall, tlm_per_core=0.0,
+                           tic_per_core=1.0)
+        # pick tic so the model's T_maxfreq equals the wall time exactly
+        cpi_max = policy._perf.predict(delta, LADDER.fastest, 0.0).cpi[0]
+        tic = wall / (cpi_max * CFG.cpu.cycle_ns)
+        delta = make_delta(CFG, interval_ns=wall, tlm_per_core=0.0,
+                           tic_per_core=tic)
+        for n in range(1, 6):
+            policy.update_slack(delta, wall)
+            assert np.allclose(policy.slack_ns, n * policy.gamma * wall,
+                               rtol=1e-6)
+
+    def test_negative_slack_recovers_under_max_frequency_epochs(self):
+        policy = make_policy()
+        policy.slack_ns[:] = -1e6
+        wall = 5e6
+        delta = make_delta(CFG, interval_ns=wall, tlm_per_core=0.0,
+                           tic_per_core=1.0)
+        cpi_max = policy._perf.predict(delta, LADDER.fastest, 0.0).cpi[0]
+        tic = wall / (cpi_max * CFG.cpu.cycle_ns)
+        delta = make_delta(CFG, interval_ns=wall, tlm_per_core=0.0,
+                           tic_per_core=tic)
+        for _ in range(3):
+            policy.update_slack(delta, wall)
+        assert np.all(policy.slack_ns > -1e6)
+        assert np.all(policy.slack_ns == pytest.approx(
+            -1e6 + 3 * policy.gamma * wall, rel=1e-6))

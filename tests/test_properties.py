@@ -1,0 +1,173 @@
+"""Property-based invariants of the memory-system simulator.
+
+Hypothesis drives randomized request streams through a real controller
+and checks conservation and ordering invariants that must hold for any
+workload: every request completes exactly once, latencies decompose
+monotonically, counters are consistent with completions, and state-time
+accounting always sums to wall-clock time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import scaled_config
+from repro.memsim.controller import MemoryController
+from repro.memsim.engine import EventEngine
+from repro.memsim.request import MemRequest, RequestKind
+from repro.memsim.states import PowerdownMode
+
+CFG = scaled_config()
+
+#: A request spec: (delay offset ns, line address, is_read).
+request_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+        st.integers(min_value=0, max_value=1 << 20),
+        st.booleans(),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def drive(specs, powerdown=PowerdownMode.NONE):
+    engine = EventEngine()
+    mc = MemoryController(engine, CFG, powerdown_mode=powerdown,
+                          refresh_enabled=False, n_cores=2)
+    completed = []
+    for delay, addr, is_read in specs:
+        def submit(addr=addr, is_read=is_read):
+            if is_read:
+                mc.submit_read(addr, on_complete=completed.append)
+            else:
+                mc.submit_writeback(addr)
+        engine.schedule(delay, submit)
+    engine.run()
+    return engine, mc, completed
+
+
+class TestConservation:
+    @given(request_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_every_request_completes_exactly_once(self, specs):
+        engine, mc, completed = drive(specs)
+        reads = sum(1 for _, _, r in specs if r)
+        writes = len(specs) - reads
+        assert mc.completed_reads == reads
+        assert mc.completed_writes == writes
+        assert len(completed) == reads
+        assert mc.pending_requests == 0
+
+    @given(request_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_counters_match_completions(self, specs):
+        engine, mc, _ = drive(specs)
+        n = len(specs)
+        # every access is classified exactly once
+        assert mc.counters.rbhc + mc.counters.obmc + mc.counters.cbmc == n
+        # every request sampled the queue accumulators exactly once
+        assert mc.counters.btc == n
+        assert mc.counters.ctc == n
+        # every non-hit performed an activate
+        assert mc.counters.pocc == n - mc.counters.rbhc
+
+    @given(request_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_latency_decomposition_is_ordered(self, specs):
+        engine, mc, completed = drive(specs)
+        for request in completed:
+            assert request.issue_ns <= request.arrive_bank_ns
+            assert request.arrive_bank_ns <= request.bank_start_ns
+            assert request.bank_start_ns < request.bank_done_ns
+            assert request.bank_done_ns <= request.bus_start_ns
+            assert request.bus_start_ns < request.complete_ns
+
+    @given(request_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_minimum_latency_floor(self, specs):
+        """No request can beat MC + fastest array access + burst."""
+        engine, mc, completed = drive(specs)
+        floor = (CFG.timings.t_cl_ns  # best case: row hit
+                 + 5 * 0.625          # MC processing at 1600 MHz
+                 + 4 * 1.25)          # burst at 800 MHz
+        for request in completed:
+            assert request.total_latency_ns >= floor - 1e-9
+
+    @given(request_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_state_time_accounting_sums_to_wall_clock(self, specs):
+        engine, mc, _ = drive(specs)
+        mc.sync_accounting()
+        wall = engine.now
+        totals = mc.counters.rank_state_ns.sum(axis=1)
+        assert np.allclose(totals, wall, atol=1e-6)
+
+    @given(request_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_powerdown_mode_preserves_conservation(self, specs):
+        engine, mc, completed = drive(specs,
+                                      powerdown=PowerdownMode.FAST_EXIT)
+        reads = sum(1 for _, _, r in specs if r)
+        assert len(completed) == reads
+        assert mc.pending_requests == 0
+
+
+class TestBusExclusivity:
+    @given(request_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_bursts_on_one_channel_never_overlap(self, specs):
+        engine, mc, completed = drive(specs)
+        by_channel = {}
+        for request in completed:
+            by_channel.setdefault(request.location.channel, []).append(
+                (request.bus_start_ns, request.complete_ns))
+        for intervals in by_channel.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9
+
+    @given(request_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_channel_busy_time_equals_burst_sum(self, specs):
+        engine, mc, _ = drive(specs)
+        n = len(specs)
+        burst = 4 * 1.25
+        assert mc.counters.channel_busy_ns.sum() == pytest.approx(n * burst)
+
+
+class TestFrequencyInvariance:
+    @given(request_specs,
+           st.sampled_from([800.0, 533.0, 333.0, 200.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_all_requests_complete_at_any_frequency(self, specs, bus_mhz):
+        engine = EventEngine()
+        mc = MemoryController(engine, CFG, refresh_enabled=False, n_cores=2)
+        mc.set_frequency_by_bus_mhz(bus_mhz)
+        completed = []
+        for delay, addr, is_read in specs:
+            def submit(addr=addr, is_read=is_read):
+                if is_read:
+                    mc.submit_read(addr, on_complete=completed.append)
+                else:
+                    mc.submit_writeback(addr)
+            engine.schedule(delay, submit)
+        engine.run()
+        reads = sum(1 for _, _, r in specs if r)
+        assert len(completed) == reads
+        assert mc.pending_requests == 0
+
+    @given(st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=20, deadline=None)
+    def test_isolated_read_slower_at_lower_frequency(self, addr):
+        latencies = []
+        for bus_mhz in (800.0, 200.0):
+            engine = EventEngine()
+            mc = MemoryController(engine, CFG, refresh_enabled=False,
+                                  n_cores=1)
+            mc.set_frequency_by_bus_mhz(bus_mhz)
+            engine.run_until(mc.frozen_until_ns)
+            done = []
+            mc.submit_read(addr, on_complete=done.append)
+            engine.run()
+            latencies.append(done[0].total_latency_ns)
+        assert latencies[1] > latencies[0]

@@ -1,0 +1,124 @@
+"""Unit tests for run results and baseline comparison arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.power_model import PowerBreakdown
+from repro.sim.results import (
+    ENERGY_COMPONENTS,
+    RunResult,
+    accumulate_energy,
+    breakdown_to_energy_dict,
+    compare_to_baseline,
+)
+
+
+def make_result(governor="X", mem_energy_scale=1.0, time_scale=1.0,
+                workload="MIX", target=1000):
+    # two apps x two cores each
+    wall = 1000.0 * time_scale
+    energy = {
+        "background": 4.0 * mem_energy_scale,
+        "refresh": 0.5 * mem_energy_scale,
+        "actpre": 1.0 * mem_energy_scale,
+        "rdwr": 1.0 * mem_energy_scale,
+        "termination": 0.5 * mem_energy_scale,
+        "pll_reg": 1.0 * mem_energy_scale,
+        "mc": 2.0 * mem_energy_scale,
+    }
+    return RunResult(
+        workload=workload, governor=governor, target_instructions=target,
+        wall_time_ns=wall, sim_time_ns=wall,
+        core_apps=["a", "a", "b", "b"],
+        core_time_at_target_ns=[wall, wall * 0.9, wall * 0.8, wall * 0.7],
+        energy_j=energy,
+    )
+
+
+class TestRunResult:
+    def test_memory_energy_sums_components(self):
+        r = make_result()
+        assert r.memory_energy_j == pytest.approx(10.0)
+        assert r.dimm_energy_j == pytest.approx(8.0)
+
+    def test_average_powers(self):
+        r = make_result()
+        assert r.avg_memory_power_w == pytest.approx(10.0 / (1000e-9))
+        assert r.avg_dimm_power_w == pytest.approx(8.0 / (1000e-9))
+
+    def test_system_energy_adds_rest(self):
+        r = make_result()
+        rest = 100.0
+        assert r.system_energy_j(rest) == pytest.approx(
+            10.0 + rest * 1000e-9)
+
+    def test_core_cpi(self):
+        r = make_result()
+        cycle = 0.25
+        cpis = r.core_cpi(cycle)
+        assert cpis[0] == pytest.approx(1000.0 / (1000 * 0.25))
+
+    def test_app_cpi_averages_instances(self):
+        r = make_result()
+        cpis = r.app_cpi(0.25)
+        assert set(cpis) == {"a", "b"}
+        assert cpis["a"] == pytest.approx((4.0 + 3.6) / 2)
+
+
+class TestCompare:
+    def test_savings_and_degradation(self):
+        base = make_result("Baseline")
+        policy = make_result("Pol", mem_energy_scale=0.5, time_scale=1.05)
+        cmp = compare_to_baseline(base, policy, cycle_ns=0.25,
+                                  memory_power_fraction=0.4)
+        assert cmp.memory_energy_savings == pytest.approx(0.5)
+        assert cmp.avg_cpi_increase == pytest.approx(0.05)
+        assert cmp.worst_cpi_increase == pytest.approx(0.05)
+        assert cmp.governor == "Pol"
+
+    def test_system_savings_between_memory_and_zero(self):
+        base = make_result("Baseline")
+        policy = make_result("Pol", mem_energy_scale=0.5, time_scale=1.0)
+        cmp = compare_to_baseline(base, policy, cycle_ns=0.25,
+                                  memory_power_fraction=0.4)
+        assert 0 < cmp.system_energy_savings < cmp.memory_energy_savings
+
+    def test_explicit_rest_power_respected(self):
+        base = make_result("Baseline")
+        policy = make_result("Pol", mem_energy_scale=0.5)
+        lo = compare_to_baseline(base, policy, 0.25, 0.4, rest_power_w=0.0)
+        hi = compare_to_baseline(base, policy, 0.25, 0.4, rest_power_w=1e9)
+        assert lo.system_energy_savings > hi.system_energy_savings
+
+    def test_slower_run_costs_system_energy(self):
+        base = make_result("Baseline")
+        same_energy_slower = make_result("Pol", mem_energy_scale=1.0,
+                                         time_scale=1.2)
+        cmp = compare_to_baseline(base, same_energy_slower, 0.25, 0.4)
+        assert cmp.system_energy_savings < 0
+
+    def test_mismatched_workloads_rejected(self):
+        a = make_result(workload="A")
+        b = make_result(workload="B")
+        with pytest.raises(ValueError):
+            compare_to_baseline(a, b, 0.25, 0.4)
+
+    def test_mismatched_targets_rejected(self):
+        a = make_result(target=1000)
+        b = make_result(target=2000)
+        with pytest.raises(ValueError):
+            compare_to_baseline(a, b, 0.25, 0.4)
+
+
+class TestEnergyHelpers:
+    def test_breakdown_to_energy_dict(self):
+        b = PowerBreakdown(1, 2, 3, 4, 5, 6, 7)
+        d = breakdown_to_energy_dict(b, seconds=2.0)
+        assert set(d) == set(ENERGY_COMPONENTS)
+        assert d["background"] == 2.0
+        assert d["mc"] == 14.0
+
+    def test_accumulate(self):
+        total = {"mc": 1.0}
+        accumulate_energy(total, {"mc": 2.0, "rdwr": 3.0})
+        assert total == {"mc": 3.0, "rdwr": 3.0}

@@ -1,0 +1,102 @@
+"""Tests for row-buffer management policies (closed vs open page)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ConfigError, MemoryOrgConfig, scaled_config
+from repro.memsim.address import MemoryLocation
+from repro.memsim.controller import MemoryController
+from repro.memsim.engine import EventEngine
+from repro.memsim.request import MemRequest, RequestKind
+
+CLOSED = scaled_config()
+OPEN = CLOSED.with_org(row_policy="open")
+
+
+def make_controller(config):
+    engine = EventEngine()
+    mc = MemoryController(engine, config, refresh_enabled=False, n_cores=2)
+    return engine, mc
+
+
+def read(mc, row, column=0, done=None):
+    request = MemRequest(
+        RequestKind.READ,
+        MemoryLocation(channel=0, rank=0, bank=0, row=row, column=column),
+        on_complete=(lambda r: done.append(r)) if done is not None else None)
+    mc.submit(request)
+    return request
+
+
+class TestConfig:
+    def test_default_is_closed(self):
+        assert MemoryOrgConfig().row_policy == "closed"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(MemoryOrgConfig(),
+                                row_policy="adaptive").validate()
+
+
+class TestOpenPage:
+    def test_later_same_row_access_hits(self):
+        engine, mc = make_controller(OPEN)
+        read(mc, row=5, column=0)
+        engine.run()
+        read(mc, row=5, column=1)
+        engine.run()
+        # under open-page the row stayed open across the idle gap
+        assert mc.counters.rbhc == 1
+        assert mc.counters.cbmc == 1
+
+    def test_conflicting_row_pays_open_miss(self):
+        engine, mc = make_controller(OPEN)
+        read(mc, row=5)
+        engine.run()
+        read(mc, row=9)
+        engine.run()
+        assert mc.counters.obmc == 1
+
+    def test_open_row_miss_is_slowest(self):
+        engine, mc = make_controller(OPEN)
+        first = read(mc, row=5)
+        engine.run()
+        conflict = read(mc, row=9)
+        engine.run()
+        assert (conflict.complete_ns - conflict.arrive_bank_ns
+                > first.complete_ns - first.arrive_bank_ns)
+
+
+class TestClosedPage:
+    def test_later_same_row_access_misses(self):
+        engine, mc = make_controller(CLOSED)
+        read(mc, row=5, column=0)
+        engine.run()
+        read(mc, row=5, column=1)
+        engine.run()
+        assert mc.counters.rbhc == 0
+        assert mc.counters.cbmc == 2
+
+    def test_no_open_row_misses_without_queued_conflicts(self):
+        engine, mc = make_controller(CLOSED)
+        for row in (1, 2, 3):
+            read(mc, row=row)
+            engine.run()
+        assert mc.counters.obmc == 0
+
+
+class TestPolicyComparison:
+    def test_open_page_wins_for_row_local_streams(self):
+        """A single-threaded row-sequential stream favours open page."""
+        latencies = {}
+        for name, config in (("closed", CLOSED), ("open", OPEN)):
+            engine, mc = make_controller(config)
+            done = []
+            total = 0.0
+            for column in range(8):
+                request = read(mc, row=3, column=column, done=done)
+                engine.run()
+                total += request.total_latency_ns
+            latencies[name] = total
+        assert latencies["open"] < latencies["closed"]

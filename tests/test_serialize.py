@@ -1,0 +1,115 @@
+"""Tests for JSON serialization of run results and comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.sim.results import EpochSample, PolicyComparison, RunResult
+from repro.sim.serialize import (
+    comparison_from_dict,
+    comparison_to_dict,
+    load_results,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_results,
+)
+
+
+def make_result():
+    return RunResult(
+        workload="MID1", governor="MemScale", target_instructions=1000,
+        wall_time_ns=5000.0, sim_time_ns=5000.0,
+        core_apps=["ammp", "gap"],
+        core_time_at_target_ns=[4000.0, 5000.0],
+        energy_j={"background": 1.0, "mc": 2.0},
+        timeline=[EpochSample(time_ns=100.0, bus_mhz=467.0,
+                              app_cpi={"ammp": 2.5},
+                              channel_util=np.array([0.1, 0.2, 0.3, 0.4]),
+                              memory_power_w=25.0)],
+        transition_count=3, epochs=1,
+    )
+
+
+def make_comparison():
+    return PolicyComparison(
+        workload="MID1", governor="MemScale",
+        memory_energy_savings=0.4, system_energy_savings=0.15,
+        avg_cpi_increase=0.05, worst_cpi_increase=0.08,
+        app_cpi_increase={"ammp": 0.08, "gap": 0.02},
+        rest_power_w=40.0,
+        energy_breakdown_j={"mc": 1.0},
+        baseline_breakdown_j={"mc": 2.0},
+    )
+
+
+class TestRunResultRoundtrip:
+    def test_fields_preserved(self):
+        original = make_result()
+        restored = run_result_from_dict(run_result_to_dict(original))
+        assert restored.workload == original.workload
+        assert restored.governor == original.governor
+        assert restored.energy_j == original.energy_j
+        assert restored.core_apps == original.core_apps
+        assert restored.memory_energy_j == original.memory_energy_j
+
+    def test_timeline_preserved(self):
+        restored = run_result_from_dict(run_result_to_dict(make_result()))
+        sample = restored.timeline[0]
+        assert sample.bus_mhz == 467.0
+        assert sample.app_cpi == {"ammp": 2.5}
+        np.testing.assert_allclose(sample.channel_util,
+                                   [0.1, 0.2, 0.3, 0.4])
+
+    def test_derived_metrics_survive(self):
+        original = make_result()
+        restored = run_result_from_dict(run_result_to_dict(original))
+        assert restored.app_cpi(0.25) == original.app_cpi(0.25)
+
+    def test_wrong_kind_rejected(self):
+        data = run_result_to_dict(make_result())
+        data["kind"] = "Other"
+        with pytest.raises(ValueError):
+            run_result_from_dict(data)
+
+    def test_wrong_version_rejected(self):
+        data = run_result_to_dict(make_result())
+        data["format"] = 99
+        with pytest.raises(ValueError):
+            run_result_from_dict(data)
+
+
+class TestComparisonRoundtrip:
+    def test_fields_preserved(self):
+        original = make_comparison()
+        restored = comparison_from_dict(comparison_to_dict(original))
+        assert restored == original
+
+
+class TestFileIO:
+    def test_save_load_mixed_list(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(path, [make_result(), make_comparison()])
+        loaded = load_results(path)
+        assert isinstance(loaded[0], RunResult)
+        assert isinstance(loaded[1], PolicyComparison)
+        assert loaded[1].memory_energy_savings == 0.4
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_results(tmp_path / "x.json", [object()])
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"kind": "Mystery", "format": 1}]')
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_real_run_roundtrip(self, tmp_path, runner):
+        result, cmp = runner.run_memscale("ILP2")
+        path = tmp_path / "real.json"
+        save_results(path, [result, cmp])
+        loaded_result, loaded_cmp = load_results(path)
+        assert loaded_result.memory_energy_j == pytest.approx(
+            result.memory_energy_j)
+        assert loaded_cmp.system_energy_savings == pytest.approx(
+            cmp.system_energy_savings)
+        assert len(loaded_result.timeline) == len(result.timeline)

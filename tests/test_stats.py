@@ -1,0 +1,103 @@
+"""Tests for trace statistics and inspection."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoryOrgConfig
+from repro.cpu.stats import (
+    core_stats,
+    expected_channel_utilization,
+    workload_stats,
+)
+from repro.cpu.trace import CoreTrace, WorkloadTrace
+from repro.cpu.workloads import generate_workload
+
+ORG = MemoryOrgConfig()
+
+
+def make_trace(addrs, gaps=None, app="x"):
+    addrs = np.asarray(addrs, dtype=np.int64)
+    if gaps is None:
+        gaps = np.full(len(addrs), 100, dtype=np.int64)
+    wbs = np.full(len(addrs), -1, dtype=np.int64)
+    return CoreTrace(app, 0, np.asarray(gaps, dtype=np.int64), addrs, wbs)
+
+
+class TestCoreStats:
+    def test_basic_counts(self):
+        s = core_stats(make_trace([0, 1, 2, 3]), ORG)
+        assert s.misses == 4
+        assert s.instructions == 400
+        assert s.rpki == pytest.approx(10.0)
+        assert s.unique_lines == 4
+
+    def test_sequential_fraction(self):
+        s = core_stats(make_trace([10, 11, 12, 500]), ORG)
+        assert s.sequential_fraction == pytest.approx(2 / 3)
+
+    def test_gap_cv_zero_for_constant_gaps(self):
+        s = core_stats(make_trace([1, 2, 3], gaps=[100, 100, 100]), ORG)
+        assert s.gap_cv == pytest.approx(0.0)
+
+    def test_gap_cv_positive_for_bursty_gaps(self):
+        s = core_stats(make_trace([1, 2, 3, 4],
+                                  gaps=[1, 1, 1, 997]), ORG)
+        assert s.gap_cv > 1.0
+
+    def test_channel_spread_sequential_is_uniform(self):
+        s = core_stats(make_trace(range(400)), ORG)
+        for frac in s.channel_spread.values():
+            assert frac == pytest.approx(0.25)
+
+    def test_channel_spread_strided_concentrates(self):
+        addrs = np.arange(100) * ORG.channels  # all on channel 0
+        s = core_stats(make_trace(addrs), ORG)
+        assert s.channel_spread[0] == pytest.approx(1.0)
+        assert s.channel_spread[1] == 0.0
+
+    def test_bank_entropy_range(self):
+        uniform = core_stats(make_trace(range(10_000)), ORG)
+        single = core_stats(make_trace([0] * 100), ORG)
+        assert 0.9 < uniform.bank_entropy <= 1.0
+        assert single.bank_entropy == pytest.approx(0.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            core_stats(make_trace([]), ORG)
+
+
+class TestWorkloadStats:
+    def test_per_app_representatives(self):
+        wt = generate_workload("MID1", cores=8,
+                               instructions_per_core=30_000, seed=3)
+        stats = workload_stats(wt, ORG)
+        assert set(stats.per_app) == set(wt.app_names)
+        assert stats.cores == 8
+        assert stats.rpki == pytest.approx(wt.rpki)
+
+    def test_most_intensive_app(self):
+        wt = generate_workload("MID3", cores=4,
+                               instructions_per_core=50_000, seed=3)
+        stats = workload_stats(wt, ORG)
+        assert stats.most_intensive_app == "apsi"
+
+
+class TestExpectedUtilization:
+    def test_scales_with_burst_time(self):
+        wt = generate_workload("MEM1", cores=16,
+                               instructions_per_core=20_000, seed=3)
+        low = expected_channel_utilization(wt, ORG, cpi_cpu=2.0,
+                                           cpu_cycle_ns=0.25, burst_ns=5.0)
+        high = expected_channel_utilization(wt, ORG, cpi_cpu=2.0,
+                                            cpu_cycle_ns=0.25, burst_ns=20.0)
+        assert high == pytest.approx(4 * low)
+        assert low > 0
+
+    def test_memory_mixes_busier(self):
+        mem = generate_workload("MEM1", cores=16,
+                                instructions_per_core=20_000, seed=3)
+        ilp = generate_workload("ILP1", cores=16,
+                                instructions_per_core=20_000, seed=3)
+        args = dict(org=ORG, cpi_cpu=2.0, cpu_cycle_ns=0.25, burst_ns=5.0)
+        assert (expected_channel_utilization(mem, **args)
+                > 10 * expected_channel_utilization(ilp, **args))

@@ -1,0 +1,176 @@
+"""End-to-end tests for the system simulator and experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.config import NS_PER_US, scaled_config
+from repro.core.baselines import BaselineGovernor, StaticFrequencyGovernor
+from repro.cpu.workloads import generate_workload
+from repro.sim.results import ENERGY_COMPONENTS
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+from repro.sim.system import SystemSimulator
+
+CFG = scaled_config()
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    return ExperimentRunner(
+        config=CFG,
+        settings=RunnerSettings(instructions_per_core=40_000, seed=13))
+
+
+@pytest.fixture(scope="module")
+def mid1_baseline(small_runner):
+    return small_runner.baseline("MID1")
+
+
+@pytest.fixture(scope="module")
+def mid1_memscale(small_runner):
+    return small_runner.run_memscale("MID1")
+
+
+class TestBaselineRun:
+    def test_completes_and_reports(self, mid1_baseline):
+        r = mid1_baseline
+        assert r.governor == "Baseline"
+        assert r.workload == "MID1"
+        assert r.wall_time_ns > 0
+        assert r.epochs >= 1
+        assert len(r.core_apps) == 16
+
+    def test_all_cores_reached_target(self, mid1_baseline):
+        assert all(t is not None and t > 0
+                   for t in mid1_baseline.core_time_at_target_ns)
+        assert mid1_baseline.wall_time_ns == max(
+            mid1_baseline.core_time_at_target_ns)
+
+    def test_energy_components_present_and_positive(self, mid1_baseline):
+        for component in ENERGY_COMPONENTS:
+            assert component in mid1_baseline.energy_j
+        assert mid1_baseline.energy_j["background"] > 0
+        assert mid1_baseline.energy_j["mc"] > 0
+        assert mid1_baseline.memory_energy_j > 0
+
+    def test_no_transitions_in_baseline(self, mid1_baseline):
+        assert mid1_baseline.transition_count == 0
+        assert all(s.bus_mhz == 800.0 for s in mid1_baseline.timeline)
+
+    def test_timeline_per_epoch(self, mid1_baseline):
+        assert len(mid1_baseline.timeline) == mid1_baseline.epochs
+        for sample in mid1_baseline.timeline:
+            assert sample.memory_power_w > 0
+            assert len(sample.channel_util) == CFG.org.channels
+            assert all(0.0 <= u <= 1.0 for u in sample.channel_util)
+
+    def test_cpi_at_least_cpu_floor(self, mid1_baseline):
+        cpis = mid1_baseline.core_cpi(CFG.cpu.cycle_ns)
+        assert np.all(cpis >= CFG.cpu.cpi_cpu)
+
+    def test_runs_are_deterministic(self, small_runner, mid1_baseline):
+        again = small_runner.run_governor("MID1", BaselineGovernor())
+        assert again.wall_time_ns == mid1_baseline.wall_time_ns
+        assert again.memory_energy_j == pytest.approx(
+            mid1_baseline.memory_energy_j)
+
+
+class TestMemScaleRun:
+    def test_saves_memory_energy(self, mid1_memscale):
+        _, cmp = mid1_memscale
+        assert cmp.memory_energy_savings > 0.10
+
+    def test_saves_system_energy(self, mid1_memscale):
+        _, cmp = mid1_memscale
+        assert cmp.system_energy_savings > 0.0
+
+    def test_respects_cpi_bound(self, mid1_memscale):
+        _, cmp = mid1_memscale
+        assert cmp.worst_cpi_increase <= CFG.policy.cpi_bound + 0.02
+
+    def test_uses_lower_frequencies(self, mid1_memscale):
+        result, _ = mid1_memscale
+        freqs = [s.bus_mhz for s in result.timeline]
+        assert min(freqs) < 800.0
+
+    def test_transitions_recorded(self, mid1_memscale):
+        result, _ = mid1_memscale
+        assert result.transition_count >= 1
+
+
+class TestSimulatorValidation:
+    def test_empty_workload_rejected(self):
+        from repro.cpu.trace import WorkloadTrace
+        with pytest.raises(ValueError):
+            SystemSimulator(CFG, WorkloadTrace("empty", []),
+                            BaselineGovernor())
+
+    def test_max_epochs_guard(self):
+        trace = generate_workload("ILP2", cores=4,
+                                  instructions_per_core=100_000, seed=1)
+        sim = SystemSimulator(CFG, trace, BaselineGovernor(), max_epochs=1)
+        with pytest.raises(RuntimeError, match="did not reach"):
+            sim.run()
+
+    def test_explicit_target(self):
+        trace = generate_workload("ILP2", cores=4,
+                                  instructions_per_core=50_000, seed=1)
+        sim = SystemSimulator(CFG, trace, BaselineGovernor(),
+                              target_instructions=10_000)
+        result = sim.run()
+        assert result.target_instructions == 10_000
+
+
+class TestRunner:
+    def test_trace_cached(self, small_runner):
+        assert small_runner.trace("MID1") is small_runner.trace("MID1")
+
+    def test_baseline_cached(self, small_runner, mid1_baseline):
+        assert small_runner.baseline("MID1") is mid1_baseline
+
+    def test_rest_power_positive(self, small_runner):
+        rest = small_runner.rest_power_w("MID1")
+        # 40% fraction => rest is 1.5x DIMM power
+        dimm = small_runner.baseline("MID1").avg_dimm_power_w
+        assert rest == pytest.approx(1.5 * dimm)
+
+    def test_named_governor_construction(self, small_runner):
+        for name in ("Baseline", "Fast-PD", "Slow-PD", "Static",
+                     "Decoupled", "MemScale", "MemScale(MemEnergy)",
+                     "MemScale+Fast-PD"):
+            governor = small_runner.make_named_governor("MID1", name)
+            assert governor is not None
+
+    def test_unknown_policy_rejected(self, small_runner):
+        with pytest.raises(ValueError):
+            small_runner.make_named_governor("MID1", "Bogus")
+
+    def test_static_comparison(self, small_runner):
+        cmp = small_runner.compare(
+            "MID1", StaticFrequencyGovernor())
+        assert cmp.memory_energy_savings > 0
+        assert cmp.worst_cpi_increase < CFG.policy.cpi_bound
+
+
+class TestCategoryOrdering:
+    """The headline shape: ILP saves most, MEM least (Figure 5)."""
+
+    @pytest.fixture(scope="class")
+    def savings(self, small_runner):
+        out = {}
+        for mix in ("ILP2", "MID1", "MEM2"):
+            _, cmp = small_runner.run_memscale(mix)
+            out[mix] = cmp
+        return out
+
+    def test_ilp_saves_most_memory_energy(self, savings):
+        assert (savings["ILP2"].memory_energy_savings
+                > savings["MID1"].memory_energy_savings
+                > savings["MEM2"].memory_energy_savings)
+
+    def test_all_bounded(self, savings):
+        for cmp in savings.values():
+            assert cmp.worst_cpi_increase <= CFG.policy.cpi_bound + 0.02
+
+    def test_all_save_memory_energy(self, savings):
+        for cmp in savings.values():
+            assert cmp.memory_energy_savings > 0

@@ -1,0 +1,101 @@
+"""Unit and property tests for the trace format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.trace import CoreTrace, WorkloadTrace
+
+
+def make_core_trace(n=10, app="swim", app_id=0, gap=100, wb_every=2):
+    gaps = np.full(n, gap, dtype=np.int64)
+    reads = np.arange(n, dtype=np.int64)
+    wbs = np.where(np.arange(n) % wb_every == 0,
+                   np.arange(n, dtype=np.int64) + 1000, -1).astype(np.int64)
+    return CoreTrace(app_name=app, app_id=app_id, gaps=gaps,
+                     read_addrs=reads, wb_addrs=wbs)
+
+
+class TestCoreTrace:
+    def test_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            CoreTrace("x", 0, np.zeros(3, np.int64), np.zeros(2, np.int64),
+                      np.zeros(3, np.int64))
+
+    def test_negative_gaps_rejected(self):
+        with pytest.raises(ValueError):
+            CoreTrace("x", 0, np.array([-1], np.int64),
+                      np.zeros(1, np.int64), np.full(1, -1, np.int64))
+
+    def test_totals(self):
+        t = make_core_trace(n=10, gap=100, wb_every=2)
+        assert t.total_instructions == 1000
+        assert t.total_reads == 10
+        assert t.total_writebacks == 5
+        assert len(t) == 10
+
+    def test_rpki_wpki(self):
+        t = make_core_trace(n=10, gap=100, wb_every=2)
+        assert t.rpki == pytest.approx(10.0)
+        assert t.wpki == pytest.approx(5.0)
+
+    def test_rpki_zero_instructions(self):
+        t = CoreTrace("x", 0, np.zeros(1, np.int64), np.zeros(1, np.int64),
+                      np.full(1, -1, np.int64))
+        assert t.rpki == 0.0
+
+
+class TestWorkloadTrace:
+    def test_app_names_unique_ordered(self):
+        wt = WorkloadTrace("mix", [
+            make_core_trace(app="a", app_id=0),
+            make_core_trace(app="b", app_id=1),
+            make_core_trace(app="a", app_id=0),
+        ])
+        assert wt.app_names == ["a", "b"]
+
+    def test_cores_of_app(self):
+        wt = WorkloadTrace("mix", [
+            make_core_trace(app="a"), make_core_trace(app="b"),
+            make_core_trace(app="a"),
+        ])
+        assert wt.cores_of_app("a") == [0, 2]
+        assert wt.cores_of_app("missing") == []
+
+    def test_aggregate_rpki(self):
+        wt = WorkloadTrace("mix", [make_core_trace(n=10, gap=100),
+                                   make_core_trace(n=10, gap=300)])
+        # 20 reads / 4000 instructions
+        assert wt.rpki == pytest.approx(5.0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        wt = WorkloadTrace("MID1", [make_core_trace(app="ammp", app_id=0),
+                                    make_core_trace(app="gap", app_id=1)])
+        path = tmp_path / "trace.npz"
+        wt.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded.name == "MID1"
+        assert len(loaded) == 2
+        assert loaded.cores[0].app_name == "ammp"
+        assert loaded.cores[1].app_id == 1
+        for orig, new in zip(wt.cores, loaded.cores):
+            np.testing.assert_array_equal(orig.gaps, new.gaps)
+            np.testing.assert_array_equal(orig.read_addrs, new.read_addrs)
+            np.testing.assert_array_equal(orig.wb_addrs, new.wb_addrs)
+
+
+class TestRoundtripProperty:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=10_000),   # gap
+        st.integers(min_value=0, max_value=2**40),    # read addr
+        st.integers(min_value=-1, max_value=2**40),   # wb addr
+    ), min_size=1, max_size=50))
+    def test_stats_invariants(self, records):
+        gaps = np.array([r[0] for r in records], dtype=np.int64)
+        reads = np.array([r[1] for r in records], dtype=np.int64)
+        wbs = np.array([r[2] for r in records], dtype=np.int64)
+        t = CoreTrace("x", 0, gaps, reads, wbs)
+        assert t.total_reads == len(records)
+        assert 0 <= t.total_writebacks <= t.total_reads
+        if t.total_instructions > 0:
+            assert t.wpki <= t.rpki

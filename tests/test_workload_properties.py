@@ -1,0 +1,78 @@
+"""Property-based tests on the workload generator and full-run physics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import scaled_config
+from repro.cpu.workloads import MIXES, generate_workload
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+
+CFG = scaled_config()
+
+
+class TestGeneratorProperties:
+    @given(st.sampled_from(sorted(MIXES)), st.integers(0, 1_000_000))
+    @settings(max_examples=15, deadline=None)
+    def test_calibration_holds_for_any_seed(self, mix, seed):
+        wt = generate_workload(mix, cores=8, instructions_per_core=60_000,
+                               seed=seed)
+        target = MIXES[mix].target_rpki
+        assert wt.rpki == pytest.approx(target, rel=0.12)
+        assert wt.wpki <= wt.rpki
+        for core in wt.cores:
+            assert core.total_instructions == 60_000
+            assert core.read_addrs.min() >= 0
+            assert core.gaps.min() >= 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_mix_identity_is_stable_across_seeds(self, seed):
+        wt = generate_workload("MID3", cores=4,
+                               instructions_per_core=20_000, seed=seed)
+        assert [c.app_name for c in wt.cores] == list(MIXES["MID3"].apps)
+
+
+class TestRunPhysics:
+    """Full-run invariants that must hold regardless of policy."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        runner = ExperimentRunner(
+            config=CFG,
+            settings=RunnerSettings(instructions_per_core=30_000, seed=33))
+        base = runner.baseline("MID2")
+        policy_run, cmp = runner.run_memscale("MID2")
+        return base, policy_run, cmp
+
+    def test_energy_components_sum(self, runs):
+        base, policy_run, _ = runs
+        for r in (base, policy_run):
+            assert r.memory_energy_j == pytest.approx(
+                sum(r.energy_j.values()))
+            assert r.dimm_energy_j < r.memory_energy_j
+
+    def test_power_within_physical_envelope(self, runs):
+        base, policy_run, _ = runs
+        for r in (base, policy_run):
+            # 8 ECC DIMMs + MC can draw neither zero nor kilowatts
+            assert 5.0 < r.avg_memory_power_w < 120.0
+
+    def test_policy_run_never_faster_than_baseline(self, runs):
+        base, policy_run, _ = runs
+        assert policy_run.wall_time_ns >= base.wall_time_ns * 0.999
+
+    def test_policy_memory_power_below_baseline(self, runs):
+        base, policy_run, _ = runs
+        assert policy_run.avg_memory_power_w < base.avg_memory_power_w
+
+    def test_epoch_samples_cover_run(self, runs):
+        _, policy_run, _ = runs
+        times = [s.time_ns for s in policy_run.timeline]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(policy_run.sim_time_ns)
+
+    def test_comparison_consistent_with_runs(self, runs):
+        base, policy_run, cmp = runs
+        expected = 1.0 - policy_run.memory_energy_j / base.memory_energy_j
+        assert cmp.memory_energy_savings == pytest.approx(expected)

@@ -1,0 +1,141 @@
+"""Tests for the synthetic SPEC-like workload generator (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.workloads import (
+    APP_PROFILES,
+    CORE_REGION_STRIDE,
+    MIXES,
+    TraceGenerator,
+    generate_workload,
+    mix_names,
+)
+
+
+class TestMixTable:
+    def test_twelve_mixes(self):
+        assert len(MIXES) == 12
+
+    def test_categories(self):
+        assert mix_names("ILP") == ["ILP1", "ILP2", "ILP3", "ILP4"]
+        assert mix_names("MID") == ["MID1", "MID2", "MID3", "MID4"]
+        assert mix_names("MEM") == ["MEM1", "MEM2", "MEM3", "MEM4"]
+        assert len(mix_names()) == 12
+
+    def test_table1_targets_recorded(self):
+        assert MIXES["MEM1"].target_rpki == 17.03
+        assert MIXES["MEM1"].target_wpki == 3.03
+        assert MIXES["ILP2"].target_rpki == 0.16
+        assert MIXES["MID3"].apps == ("apsi", "bzip2", "ammp", "gap")
+
+    def test_every_mix_app_has_a_profile(self):
+        for mix in MIXES.values():
+            for app in mix.apps:
+                assert app in APP_PROFILES
+
+    def test_apsi_has_phase_change(self):
+        assert len(APP_PROFILES["apsi"].phases) == 2
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def mid1(self):
+        return generate_workload("MID1", cores=16,
+                                 instructions_per_core=100_000, seed=3)
+
+    def test_core_count_and_replication(self, mid1):
+        assert len(mid1) == 16
+        for app in MIXES["MID1"].apps:
+            assert len(mid1.cores_of_app(app)) == 4
+
+    def test_instructions_per_core_exact(self, mid1):
+        for core in mid1.cores:
+            assert core.total_instructions == 100_000
+
+    def test_rpki_calibrated_to_table1(self, mid1):
+        assert mid1.rpki == pytest.approx(MIXES["MID1"].target_rpki, rel=0.05)
+
+    def test_wpki_calibrated_to_table1(self, mid1):
+        assert mid1.wpki == pytest.approx(MIXES["MID1"].target_wpki, rel=0.25)
+
+    @pytest.mark.parametrize("mix", ["ILP1", "ILP3", "MID2", "MID3",
+                                     "MEM1", "MEM2", "MEM4"])
+    def test_all_mixes_calibrate(self, mix):
+        wt = generate_workload(mix, cores=16, instructions_per_core=150_000,
+                               seed=11)
+        assert wt.rpki == pytest.approx(MIXES[mix].target_rpki, rel=0.06)
+        # WPKI is probabilistic; allow wider tolerance
+        assert wt.wpki == pytest.approx(MIXES[mix].target_wpki, rel=0.35)
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_workload("ILP2", instructions_per_core=20_000, seed=5)
+        b = generate_workload("ILP2", instructions_per_core=20_000, seed=5)
+        for ca, cb in zip(a.cores, b.cores):
+            np.testing.assert_array_equal(ca.gaps, cb.gaps)
+            np.testing.assert_array_equal(ca.read_addrs, cb.read_addrs)
+            np.testing.assert_array_equal(ca.wb_addrs, cb.wb_addrs)
+
+    def test_different_seeds_differ(self):
+        a = generate_workload("ILP2", instructions_per_core=20_000, seed=5)
+        b = generate_workload("ILP2", instructions_per_core=20_000, seed=6)
+        assert any(not np.array_equal(ca.read_addrs, cb.read_addrs)
+                   for ca, cb in zip(a.cores, b.cores))
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(KeyError):
+            generate_workload("NOPE")
+
+    def test_core_count_must_be_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            generate_workload("MID1", cores=10)
+
+    def test_eight_core_variant(self):
+        wt = generate_workload("MEM4", cores=8,
+                               instructions_per_core=20_000, seed=1)
+        assert len(wt) == 8
+        for app in MIXES["MEM4"].apps:
+            assert len(wt.cores_of_app(app)) == 2
+
+    def test_cores_use_disjoint_address_regions(self, mid1):
+        for i, core in enumerate(mid1.cores):
+            lo = i * CORE_REGION_STRIDE
+            hi = (i + 1) * CORE_REGION_STRIDE
+            assert core.read_addrs.min() >= lo
+            assert core.read_addrs.max() < hi
+
+    def test_memory_mixes_are_heavier_than_ilp(self):
+        ilp = generate_workload("ILP1", instructions_per_core=50_000, seed=2)
+        mem = generate_workload("MEM1", instructions_per_core=50_000, seed=2)
+        assert mem.rpki > 10 * ilp.rpki
+
+
+class TestSpatialLocality:
+    def test_streaming_app_has_sequential_runs(self):
+        wt = generate_workload("MEM1", cores=4,
+                               instructions_per_core=100_000, seed=9)
+        swim = wt.cores[wt.cores_of_app("swim")[0]]
+        diffs = np.diff(swim.read_addrs)
+        seq_frac = float((diffs == 1).mean())
+        assert seq_frac > 0.5  # swim streams (stream_prob 0.85)
+
+    def test_pointer_chaser_less_sequential(self):
+        wt = generate_workload("MID2", cores=4,
+                               instructions_per_core=100_000, seed=9)
+        twolf = wt.cores[wt.cores_of_app("twolf")[0]]
+        diffs = np.diff(twolf.read_addrs)
+        seq_frac = float((diffs == 1).mean())
+        assert seq_frac < 0.5
+
+
+class TestPhaseStructureInTraces:
+    def test_apsi_miss_rate_rises_in_second_half(self):
+        wt = generate_workload("MID3", cores=4,
+                               instructions_per_core=200_000, seed=4)
+        apsi = wt.cores[wt.cores_of_app("apsi")[0]]
+        cum = np.cumsum(apsi.gaps)
+        half = apsi.total_instructions // 2
+        first_half_misses = int((cum <= half).sum())
+        second_half_misses = len(apsi) - first_half_misses
+        # phase 2 intensity is ~6x phase 1
+        assert second_half_misses > 2 * first_half_misses
