@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench sweep clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tiny mix through the parallel runner with 2 workers; exits non-zero
+# if the epoch loop, cache, or savings sanity checks fail.
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke --jobs 2
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+sweep:
+	$(PYTHON) -m repro sweep --mixes ILP1 MID1 MID2 MEM1 \
+	    --policies MemScale Static Decoupled --jobs 2
+
+clean-cache:
+	rm -rf .repro_cache

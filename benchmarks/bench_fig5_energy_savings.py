@@ -1,6 +1,9 @@
 """Figure 5 — memory and full-system energy savings per workload.
 
 MemScale vs the all-on baseline at a 10% CPI bound, for all 12 mixes.
+The twelve runs fan out across worker processes via the parallel sweep
+layer (``repro.sim.parallel``); Figure 6 then reuses the same runs from
+the session cache.
 
 Paper: memory savings 17%-71%, system savings 6%-31%; ILP mixes save
 the most (system >= 30%), MID at least 15%, MEM at least 6%.
@@ -15,7 +18,8 @@ from repro.cpu.workloads import MIXES, mix_names
 
 def test_fig5_energy_savings(benchmark, ctx):
     def run_all():
-        return {mix: ctx.memscale_run(mix)[1] for mix in MIXES}
+        outcomes = ctx.sweep(list(MIXES), ["MemScale"])
+        return {o.mix: o.comparison for o in outcomes}
 
     comparisons = run_once(benchmark, run_all)
 

@@ -2,7 +2,9 @@
 
 Average memory/system energy savings across the MID workloads for:
 Fast-PD, Slow-PD, Decoupled DIMMs, Static, MemScale (MemEnergy),
-MemScale, and MemScale + Fast-PD.
+MemScale, and MemScale + Fast-PD. The 4 x 7 (mix, policy) grid fans out
+across worker processes via the parallel sweep layer; Figures 10/11
+reuse the same runs from the session cache.
 
 Paper: Fast-PD saves little; Slow-PD *loses* system energy; Decoupled
 beats Fast-PD; Static beats Decoupled; MemScale beats Static and saves
@@ -30,6 +32,9 @@ def mid_average(ctx, policy):
 
 def test_fig9_policy_comparison(benchmark, ctx):
     def run_all():
+        # One parallel sweep fills the session cache; the averages then
+        # read back the per-(mix, policy) comparisons.
+        ctx.sweep(mix_names("MID"), POLICIES)
         return {p: mid_average(ctx, p) for p in POLICIES}
 
     averages = run_once(benchmark, run_all)

@@ -3,26 +3,38 @@
 Benches reproduce the paper's tables and figures; several of them reuse
 the same simulation runs (e.g. Figures 5 and 6 read the same MemScale
 runs), so all runs are cached per (configuration, mix, policy) for the
-whole pytest session.
+whole pytest session. Runs additionally go through the content-keyed
+on-disk cache (``.repro_cache/`` by default — override with
+``REPRO_BENCH_CACHE``, or set it to the empty string to disable), so
+artifacts survive across sessions, and the Figure sweeps fan out across
+worker processes via :func:`repro.sim.parallel.run_sweep`.
 
 Scale control: set ``REPRO_BENCH_INSTR`` (instructions per core, default
-120000) to trade fidelity for wall-clock time. Larger values sharpen the
-numbers at the cost of slower benches.
+120000) to trade fidelity for wall-clock time, and ``REPRO_BENCH_JOBS``
+to set the sweep worker count.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import pytest
 
 from repro.config import SystemConfig, scaled_config
+from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
+from repro.sim.parallel import SweepOutcome, default_jobs, run_sweep
 from repro.sim.results import PolicyComparison, RunResult
 from repro.sim.runner import ExperimentRunner, RunnerSettings
 
 DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTR", "120000"))
 BENCH_SEED = 2011
+
+#: On-disk artifact cache shared by all benches ("" disables it).
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE", DEFAULT_CACHE_DIR) or None
+
+#: Worker processes for the parallel Figure sweeps.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(default_jobs())))
 
 
 class BenchContext:
@@ -46,12 +58,33 @@ class BenchContext:
         cache_key = (key, cores, instructions)
         if cache_key not in self._runners:
             cfg = config if config is not None else scaled_config()
+            disk_cache = (ExperimentCache(BENCH_CACHE_DIR)
+                          if BENCH_CACHE_DIR else None)
             self._runners[cache_key] = ExperimentRunner(
                 config=cfg,
                 settings=RunnerSettings(cores=cores,
                                         instructions_per_core=instructions,
-                                        seed=BENCH_SEED))
+                                        seed=BENCH_SEED),
+                cache=disk_cache)
         return self._runners[cache_key]
+
+    # -- parallel sweeps ---------------------------------------------------
+
+    def sweep(self, mixes: Sequence[str], policies: Sequence[str],
+              runner: ExperimentRunner = None, key: Tuple = (),
+              jobs: int = None) -> List[SweepOutcome]:
+        """Fan (mix x policy) runs across processes and absorb the
+        outcomes into the session cache, so later benches reuse them."""
+        runner = runner or self.runner()
+        outcomes = run_sweep(
+            mixes, policies, config=runner.config, settings=runner.settings,
+            jobs=jobs if jobs is not None else BENCH_JOBS,
+            cache_dir=BENCH_CACHE_DIR)
+        for o in outcomes:
+            self._comparisons[(key, id(runner), o.mix, o.policy)] = o.comparison
+            if o.policy == "MemScale":
+                self._results[(key, id(runner), o.mix)] = o.result
+        return outcomes
 
     # -- cached runs ---------------------------------------------------------
 

@@ -4,18 +4,26 @@ Every experiment is reachable from the shell::
 
     python -m repro table1
     python -m repro run MID3 --policy MemScale --instructions 200000
+    python -m repro sweep --mixes MID1 MID2 --policies MemScale Static --jobs 4
+    python -m repro bench --smoke
     python -m repro figure 5
     python -m repro timeline MID3
     python -m repro stats MEM1
     python -m repro best-static MID1
 
 All output is plain text (the same tables the benchmark harness prints).
+``sweep`` fans (mix x policy) combinations across worker processes with
+an on-disk artifact cache (``--jobs``, ``--cache-dir``, ``--no-cache``)
+and optional per-epoch telemetry JSONL streams (``--telemetry DIR``);
+``bench --smoke`` is the CI smoke target running one tiny mix through
+the parallel path.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis import format_table
@@ -23,7 +31,19 @@ from repro.config import NS_PER_US, scaled_config
 from repro.cpu.stats import workload_stats
 from repro.cpu.workloads import MIXES, mix_names
 from repro.sim import experiments
+from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
+from repro.sim.parallel import run_sweep, sweep_table
 from repro.sim.runner import POLICY_NAMES, ExperimentRunner, RunnerSettings
+from repro.sim.telemetry import JsonlTelemetry
+
+
+def _cache_from_args(args) -> Optional[ExperimentCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    return ExperimentCache(cache_dir)
 
 
 def _make_runner(args) -> ExperimentRunner:
@@ -34,7 +54,8 @@ def _make_runner(args) -> ExperimentRunner:
         config=config,
         settings=RunnerSettings(cores=args.cores,
                                 instructions_per_core=args.instructions,
-                                seed=args.seed))
+                                seed=args.seed),
+        cache=_cache_from_args(args))
 
 
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
@@ -44,6 +65,16 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
                         help="core count, multiple of 4 (default 16)")
     parser.add_argument("--seed", type=int, default=2011,
                         help="trace generator seed")
+
+
+def _add_cache_args(parser: argparse.ArgumentParser,
+                    default: Optional[str] = DEFAULT_CACHE_DIR) -> None:
+    note = default if default is not None else "disabled"
+    parser.add_argument("--cache-dir", default=default,
+                        help=f"on-disk trace/baseline cache root "
+                             f"(default: {note})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk cache")
 
 
 def _check_mix(mix: str) -> str:
@@ -69,7 +100,12 @@ def cmd_run(args) -> None:
     if args.policy not in POLICY_NAMES or args.policy == "Baseline":
         raise SystemExit(
             f"--policy must be one of {[p for p in POLICY_NAMES if p != 'Baseline']}")
-    cmp = runner.compare_named(mix, args.policy)
+    telemetry = JsonlTelemetry(args.telemetry) if args.telemetry else None
+    try:
+        cmp = runner.compare_named(mix, args.policy, telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     rows = [
         ["memory energy savings", f"{cmp.memory_energy_savings:+.1%}"],
         ["system energy savings", f"{cmp.system_energy_savings:+.1%}"],
@@ -82,6 +118,81 @@ def cmd_run(args) -> None:
                 for app, inc in sorted(cmp.app_cpi_increase.items())]
     print()
     print(format_table(["application", "CPI increase"], app_rows))
+    if args.telemetry:
+        print(f"\nper-epoch telemetry written to {args.telemetry}")
+
+
+def cmd_sweep(args) -> None:
+    mixes = args.mixes if args.mixes else list(MIXES)
+    for mix in mixes:
+        _check_mix(mix)
+    policies = args.policies
+    for policy in policies:
+        if policy not in POLICY_NAMES:
+            raise SystemExit(
+                f"unknown policy {policy!r}; choose from {POLICY_NAMES}")
+    config = scaled_config()
+    if args.bound is not None:
+        config = config.with_policy(cpi_bound=args.bound)
+    settings = RunnerSettings(cores=args.cores,
+                              instructions_per_core=args.instructions,
+                              seed=args.seed)
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    start = time.perf_counter()
+    outcomes = run_sweep(mixes, policies, config=config, settings=settings,
+                         jobs=args.jobs, cache_dir=cache_dir,
+                         telemetry_dir=args.telemetry)
+    wall = time.perf_counter() - start
+    print(format_table(
+        ["workload", "policy", "mem savings", "sys savings",
+         "worst CPI", "job wall"],
+        sweep_table(outcomes),
+        title=f"sweep: {len(mixes)} mixes x {len(policies)} policies"))
+    jobs = args.jobs if args.jobs is not None else "auto"
+    cache_note = cache_dir if cache_dir is not None else "disabled"
+    print(f"\n{len(outcomes)} runs in {wall:.2f}s wall "
+          f"(jobs={jobs}, cache={cache_note})")
+    if args.telemetry:
+        print(f"per-epoch telemetry JSONL files in {args.telemetry}/")
+    if args.save:
+        from repro.sim.serialize import save_results
+        save_results(args.save, [o.result for o in outcomes]
+                     + [o.comparison for o in outcomes])
+        print(f"results saved to {args.save}")
+
+
+def cmd_bench(args) -> None:
+    if not args.smoke:
+        raise SystemExit("only --smoke is supported; run the full suite "
+                         "with: pytest benchmarks/ --benchmark-only -s")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    settings = RunnerSettings(cores=4, instructions_per_core=8_000, seed=2011)
+    cache_dir = None if args.no_cache else args.cache_dir
+    start = time.perf_counter()
+    outcomes = run_sweep(["MID1"], ["MemScale", "Static"],
+                         settings=settings, jobs=args.jobs,
+                         cache_dir=cache_dir)
+    wall = time.perf_counter() - start
+    failures = []
+    for o in outcomes:
+        if o.result.epochs <= 0:
+            failures.append(f"{o.mix}/{o.policy}: no epochs simulated")
+        if not -1.0 <= o.comparison.system_energy_savings <= 1.0:
+            failures.append(f"{o.mix}/{o.policy}: implausible savings "
+                            f"{o.comparison.system_energy_savings:+.1%}")
+        if o.comparison.memory_energy_savings <= 0.0:
+            failures.append(f"{o.mix}/{o.policy}: no memory savings")
+    print(format_table(
+        ["workload", "policy", "mem savings", "sys savings",
+         "worst CPI", "job wall"],
+        sweep_table(outcomes), title="bench smoke (parallel path)"))
+    if failures:
+        raise SystemExit("SMOKE FAILED:\n  " + "\n  ".join(failures))
+    print(f"\nSMOKE OK: {len(outcomes)} runs, {args.jobs} workers, "
+          f"{wall:.2f}s wall")
 
 
 def cmd_figure(args) -> None:
@@ -183,8 +294,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"one of {[n for n in POLICY_NAMES if n != 'Baseline']}")
     p.add_argument("--bound", type=float, default=None,
                    help="CPI degradation bound (default 0.10)")
+    p.add_argument("--telemetry", default=None, metavar="FILE",
+                   help="stream per-epoch telemetry JSONL to FILE")
     _add_scale_args(p)
+    _add_cache_args(p, default=None)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep",
+                       help="parallel (mix x policy) sweep with caching")
+    p.add_argument("--mixes", nargs="+", default=None, metavar="MIX",
+                   help="mixes to sweep (default: all twelve)")
+    p.add_argument("--policies", nargs="+", default=["MemScale"],
+                   metavar="POLICY", help=f"policies from {POLICY_NAMES}")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: up to 8, one per CPU)")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write one per-epoch telemetry JSONL file per run "
+                        "into DIR")
+    p.add_argument("--bound", type=float, default=None,
+                   help="CPI degradation bound (default 0.10)")
+    p.add_argument("--save", default=None, metavar="FILE",
+                   help="save all results/comparisons to a JSON file")
+    _add_scale_args(p)
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("bench", help="benchmark entry points (CI smoke)")
+    p.add_argument("--smoke", action="store_true",
+                   help="run one tiny mix through the parallel path")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker processes for the smoke run (default 2)")
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int)

@@ -12,7 +12,7 @@ the comparison policies of Section 4.2.3 live in
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.policy import MemScalePolicy
 from repro.memsim.controller import MemoryController
@@ -54,6 +54,18 @@ class Governor(abc.ABC):
         None when all channels share the global frequency."""
         return None
 
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """Policy-side fields for the epoch telemetry record.
+
+        Called by the simulator once per epoch — only when a telemetry
+        sink is attached, so governors pay nothing by default. Keys a
+        governor may contribute (see the JSONL schema in EXPERIMENTS.md):
+        ``predicted_cpi``, ``slack_ns``, ``feasible_bus_mhz``,
+        ``limited_by_slack``. Governors without a prediction model
+        (the Section 4.2.3 baselines) return an empty dict.
+        """
+        return {}
+
 
 class MemScaleGovernor(Governor):
     """The paper's policy: profile, select SER-minimal frequency, track slack."""
@@ -89,3 +101,16 @@ class MemScaleGovernor(Governor):
                      epoch_wall_ns: float) -> None:
         self._policy.update_slack(delta, epoch_wall_ns,
                                   freq_used=controller.freq)
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """Last decision's prediction and the current slack balance
+        (Section 3.2 stages 2 and 4), for the epoch telemetry record."""
+        if not self._policy.decisions:
+            return {}
+        decision = self._policy.decisions[-1]
+        return {
+            "predicted_cpi": [float(c) for c in decision.predicted_cpi],
+            "slack_ns": [float(s) for s in self._policy.slack_ns],
+            "feasible_bus_mhz": [float(f) for f in decision.feasible],
+            "limited_by_slack": bool(decision.limited_by_slack),
+        }

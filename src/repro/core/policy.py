@@ -89,6 +89,7 @@ class MemScalePolicy:
 
     @property
     def ladder(self) -> FrequencyLadder:
+        """The candidate frequency ladder searched each epoch (Section 3.2)."""
         return self._ladder
 
     @property
@@ -98,6 +99,8 @@ class MemScalePolicy:
 
     @property
     def gamma_per_core(self) -> np.ndarray:
+        """Per-core maximum slowdown bounds (Section 3.1's per-application
+        gamma; uniform ``cpi_bound`` unless overridden)."""
         return self._gamma_per_core
 
     # -- stage 2: frequency selection ---------------------------------------

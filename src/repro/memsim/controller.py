@@ -90,18 +90,22 @@ class MemoryController:
 
     @property
     def engine(self) -> EventEngine:
+        """The discrete-event engine driving this memory subsystem."""
         return self._engine
 
     @property
     def config(self) -> SystemConfig:
+        """The Table 2 system configuration this controller was built from."""
         return self._config
 
     @property
     def timing(self) -> TimingCalculator:
+        """DDR3 timing calculator (the Section 2.1 device parameters)."""
         return self._timing
 
     @property
     def ladder(self) -> FrequencyLadder:
+        """The ten bus/MC operating points of Section 4.1 (800-200 MHz)."""
         return self._ladder
 
     @property
@@ -133,6 +137,7 @@ class MemoryController:
         return self._config.org.row_policy
 
     def bank(self, channel: int, rank: int, bank: int) -> Bank:
+        """The :class:`~repro.memsim.bank.Bank` at (channel, rank, bank)."""
         return self._banks[(channel, rank, bank)]
 
     # -- request path -----------------------------------------------------------
@@ -164,6 +169,8 @@ class MemoryController:
 
     def submit_writeback(self, line_addr: int, core_id: int = 0,
                          app_id: int = 0) -> MemRequest:
+        """Convenience wrapper: decode an address and submit an LLC
+        writeback (deprioritized per Section 4.1's queue rule)."""
         request = MemRequest(RequestKind.WRITE, self.mapper.decode(line_addr),
                              core_id=core_id, app_id=app_id)
         self.submit(request)
@@ -196,6 +203,8 @@ class MemoryController:
     # -- writeback priority -------------------------------------------------------
 
     def writebacks_have_priority(self, channel_id: int) -> bool:
+        """True while the channel's writeback queue is at least half
+        full, inverting the read-first scheduling rule (Section 4.1)."""
         return self._wb_priority[channel_id]
 
     def _update_wb_priority(self, channel_id: int) -> None:

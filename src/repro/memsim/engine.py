@@ -1,9 +1,19 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event loop used by the whole memory-system simulator.
+A minimal, fast event loop used by the whole memory-system simulator
+(the second step of the paper's two-step methodology, Section 4.1).
 Events are callbacks ordered by (time, insertion sequence); ties in time
 therefore execute in scheduling order, which keeps simulations
-deterministic. Time is float nanoseconds.
+deterministic — the property the parallel experiment runner relies on
+to make fan-out runs byte-identical to serial ones. Time is float
+nanoseconds.
+
+Cancellation is lazy: :meth:`Event.cancel` only marks the event, and
+the queue discards cancelled entries when they reach the head
+(:meth:`EventEngine._drop_cancelled`). Every public query/advance
+method drops cancelled head events first, so a cancelled head with an
+otherwise-empty queue behaves exactly like an empty queue — the case
+``tests/test_engine.py::TestCancelledHead`` pins down.
 """
 
 from __future__ import annotations
@@ -52,11 +62,13 @@ class EventEngine:
 
     @property
     def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled ones excluded)."""
         return self._events_processed
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
+        """Number of queued *live* events; cancelled entries still
+        sitting in the heap (lazy deletion) are not counted."""
         return sum(1 for e in self._queue if not e.cancelled)
 
     def schedule_at(self, time_ns: float, callback: Callable[[], None]) -> Event:
@@ -81,7 +93,9 @@ class EventEngine:
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
-        """Run the next event. Returns False when no events remain."""
+        """Run the next live event. Returns False when no live events
+        remain (cancelled-only queues count as empty); the clock is not
+        advanced in that case."""
         self._drop_cancelled()
         if not self._queue:
             return False
@@ -118,5 +132,14 @@ class EventEngine:
                     return
 
     def _drop_cancelled(self) -> None:
+        """Discard cancelled events at the heap head (lazy deletion).
+
+        Must run before any head inspection (:meth:`peek_time`,
+        :meth:`step`, :meth:`run_until`'s loop condition): a cancelled
+        head would otherwise make the queue look non-empty — or
+        ``peek_time`` report the time of an event that will never fire —
+        including the edge case where the cancelled head is the *only*
+        entry and the queue is logically empty.
+        """
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)

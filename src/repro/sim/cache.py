@@ -1,0 +1,172 @@
+"""Content-keyed on-disk cache for traces and baseline runs.
+
+Every experiment regenerates the same two expensive artifacts: the
+deterministic :class:`~repro.cpu.trace.WorkloadTrace` of a mix and the
+all-on maximum-frequency baseline :class:`~repro.sim.results.RunResult`
+that every policy comparison normalizes against (Section 4.1). Neither
+survives the process in the serial runner, so a Figure sweep pays for
+them on every invocation. This cache keys both by the *content* of what
+produced them — the trace generator inputs for traces, the full
+:class:`~repro.config.SystemConfig` plus runner settings for baselines —
+and stores them under ``.repro_cache/`` using the existing
+serialization machinery (``WorkloadTrace.save``/``load`` ``.npz`` files
+and :mod:`repro.sim.serialize` JSON for run results).
+
+Properties:
+
+* **hit/miss by construction** — any change to the configuration, the
+  scale settings, or the seed changes the key, so stale entries can
+  never be returned; they are simply never looked up again;
+* **corruption-safe** — unreadable or truncated entries are treated as
+  misses (and deleted), falling back to regeneration;
+* **atomic** — entries are written to a temp file and ``os.replace``d
+  into place, so concurrent writers (the parallel runner's workers)
+  can only ever observe complete entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.config import SystemConfig
+from repro.cpu.trace import WorkloadTrace
+from repro.sim.results import RunResult
+from repro.sim.serialize import run_result_from_dict, run_result_to_dict
+
+PathLike = Union[str, Path]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bumped whenever the cached representation (or the simulation it
+#: captures) changes incompatibly; old entries then become unreachable.
+CACHE_FORMAT = 1
+
+
+def config_fingerprint(config: SystemConfig) -> Dict[str, object]:
+    """A JSON-serializable dict capturing every field of ``config``."""
+    return dataclasses.asdict(config)
+
+
+def _digest(payload: Dict[str, object]) -> str:
+    """Stable content hash of a JSON-serializable key payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ExperimentCache:
+    """Directory-backed store of traces and baseline run results."""
+
+    def __init__(self, root: PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def trace_key(self, mix: str, cores: int, instructions_per_core: int,
+                  seed: int) -> str:
+        """Content key of a generated trace.
+
+        Traces depend only on the generator inputs, not on the memory
+        configuration, so configuration sweeps (Figures 12-15) share
+        one cached trace per mix.
+        """
+        return _digest({
+            "format": CACHE_FORMAT, "kind": "trace", "mix": mix,
+            "cores": cores, "instructions": instructions_per_core,
+            "seed": seed,
+        })
+
+    def baseline_key(self, config: SystemConfig, mix: str, cores: int,
+                     instructions_per_core: int, seed: int) -> str:
+        """Content key of an all-on baseline run (config-sensitive)."""
+        return _digest({
+            "format": CACHE_FORMAT, "kind": "baseline", "mix": mix,
+            "cores": cores, "instructions": instructions_per_core,
+            "seed": seed, "config": config_fingerprint(config),
+        })
+
+    # -- traces ------------------------------------------------------------
+
+    def load_trace(self, key: str) -> Optional[WorkloadTrace]:
+        """The cached trace for ``key``, or None on a miss."""
+        path = self._trace_path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            trace = WorkloadTrace.load(path)
+        except Exception:
+            # Corrupted / truncated entry: discard and regenerate.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def store_trace(self, key: str, trace: WorkloadTrace) -> Path:
+        path = self._trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # np.savez appends ".npz" unless the name already ends with it,
+        # so the temp file must carry the final suffix.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp.npz")
+        os.close(fd)
+        try:
+            trace.save(tmp)
+            os.replace(tmp, path)
+        finally:
+            Path(tmp).unlink(missing_ok=True)
+        return path
+
+    # -- baseline run results ----------------------------------------------
+
+    def load_run(self, key: str) -> Optional[RunResult]:
+        """The cached run result for ``key``, or None on a miss."""
+        path = self._run_path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            result = run_result_from_dict(json.loads(path.read_text()))
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store_run(self, key: str, result: RunResult) -> Path:
+        path = self._run_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(run_result_to_dict(result))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        finally:
+            Path(tmp).unlink(missing_ok=True)
+        return path
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        """Number of cache entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return (sum(1 for _ in self.root.glob("traces/*.npz"))
+                + sum(1 for _ in self.root.glob("runs/*.json")))
+
+    def _trace_path(self, key: str) -> Path:
+        return self.root / "traces" / f"{key}.npz"
+
+    def _run_path(self, key: str) -> Path:
+        return self.root / "runs" / f"{key}.json"

@@ -1,0 +1,242 @@
+"""Parallel experiment execution: fan (mix x policy) runs across processes.
+
+The serial :class:`~repro.sim.runner.ExperimentRunner` evaluates one
+mix under one policy at a time and keeps traces and baselines only in
+process memory. This module turns a Figure sweep into an embarrassingly
+parallel job — the evaluation structure FastCap (Liu et al.) uses for
+epoch-based multi-workload DVFS studies:
+
+1. **warm phase** — one task per mix generates the deterministic trace
+   and the all-on baseline run and stores both in the content-keyed
+   on-disk cache (:mod:`repro.sim.cache`);
+2. **fan-out phase** — one task per (mix, policy) pair loads the shared
+   artifacts from the cache and simulates only the policy run, with an
+   optional per-run telemetry JSONL stream.
+
+Determinism: trace generation is fully seeded and simulation is
+event-ordered, so a parallel sweep produces *byte-identical*
+:class:`~repro.sim.results.RunResult`\\ s to a serial sweep of the same
+settings (asserted by ``tests/test_parallel.py``).
+
+Workers are plain ``ProcessPoolExecutor`` processes (``fork`` start
+method where available, so the imported package is inherited). With
+``jobs=1`` — or ``None`` on a single-CPU machine — everything runs
+inline in the calling process, which is also the path the tests use to
+compare against.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import multiprocessing
+
+from repro.config import SystemConfig, scaled_config
+from repro.cpu.trace import WorkloadTrace
+from repro.cpu.workloads import MIXES
+from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
+from repro.sim.results import PolicyComparison, RunResult
+from repro.sim.runner import POLICY_NAMES, ExperimentRunner, RunnerSettings
+from repro.sim.telemetry import JsonlTelemetry
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One unit of fan-out work: a mix evaluated under one policy."""
+
+    mix: str
+    policy: str
+
+
+@dataclass
+class SweepOutcome:
+    """Result of one :class:`SweepJob`, with execution metadata."""
+
+    mix: str
+    policy: str
+    result: RunResult
+    comparison: PolicyComparison
+    wall_s: float                   #: worker wall-clock for this job
+    cache_hits: int = 0             #: cache hits observed by the worker
+    telemetry_path: Optional[str] = None
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not specify one."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def telemetry_filename(mix: str, policy: str) -> str:
+    """Stable, filesystem-safe JSONL name for one (mix, policy) run."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", policy)
+    return f"{mix}__{slug}.jsonl"
+
+
+# -- worker-side entry points (module level: must be picklable) -----------
+
+def _make_runner(config: SystemConfig, settings: RunnerSettings,
+                 cache_dir: Optional[str]) -> ExperimentRunner:
+    cache = ExperimentCache(cache_dir) if cache_dir is not None else None
+    return ExperimentRunner(config=config, settings=settings, cache=cache)
+
+
+def _warm_mix(args: Tuple[SystemConfig, RunnerSettings, str, Optional[str]]
+              ) -> str:
+    """Warm task: populate trace + baseline cache entries for one mix."""
+    config, settings, mix, cache_dir = args
+    _make_runner(config, settings, cache_dir).warm(mix)
+    return mix
+
+
+def _build_trace(args: Tuple[RunnerSettings, str, Optional[str]]
+                 ) -> Tuple[str, WorkloadTrace]:
+    """Trace-only task used by :func:`generate_traces`."""
+    settings, mix, cache_dir = args
+    runner = _make_runner(scaled_config(), settings, cache_dir)
+    return mix, runner.trace(mix)
+
+
+def _run_job(args: Tuple[SystemConfig, RunnerSettings, SweepJob,
+                         Optional[str], Optional[str]]) -> SweepOutcome:
+    """Fan-out task: one policy run, compared against the baseline."""
+    config, settings, job, cache_dir, telemetry_dir = args
+    start = time.perf_counter()
+    runner = _make_runner(config, settings, cache_dir)
+    telemetry = None
+    telemetry_path = None
+    if telemetry_dir is not None:
+        telemetry_path = str(Path(telemetry_dir)
+                             / telemetry_filename(job.mix, job.policy))
+        telemetry = JsonlTelemetry(telemetry_path)
+    try:
+        result, comparison = runner.run_named_policy(
+            job.mix, job.policy, telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    hits = runner.cache.hits if runner.cache is not None else 0
+    return SweepOutcome(mix=job.mix, policy=job.policy, result=result,
+                        comparison=comparison,
+                        wall_s=time.perf_counter() - start,
+                        cache_hits=hits, telemetry_path=telemetry_path)
+
+
+# -- driver ----------------------------------------------------------------
+
+def _executor(jobs: int) -> ProcessPoolExecutor:
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+
+
+def _check_inputs(mixes: Sequence[str], policies: Sequence[str]) -> None:
+    for mix in mixes:
+        if mix not in MIXES:
+            raise ValueError(f"unknown mix {mix!r}; choose from {list(MIXES)}")
+    for policy in policies:
+        if policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {POLICY_NAMES}")
+
+
+def run_sweep(mixes: Sequence[str],
+              policies: Sequence[str] = ("MemScale",),
+              config: Optional[SystemConfig] = None,
+              settings: Optional[RunnerSettings] = None,
+              jobs: Optional[int] = None,
+              cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR,
+              telemetry_dir: Optional[PathLike] = None
+              ) -> List[SweepOutcome]:
+    """Evaluate every ``mix`` under every ``policy``, in parallel.
+
+    Parameters
+    ----------
+    mixes, policies
+        The cross product to evaluate; outcomes are returned in
+        ``(mix, policy)`` input order regardless of completion order.
+    jobs
+        Worker processes; ``None`` picks :func:`default_jobs`, ``1``
+        runs everything inline (no pool).
+    cache_dir
+        Root of the on-disk artifact cache shared by all workers
+        (default ``.repro_cache``). ``None`` disables caching — each
+        worker then regenerates its mix's trace and baseline.
+    telemetry_dir
+        When given, each policy run streams its per-epoch JSONL record
+        file into this directory (see EXPERIMENTS.md for the schema).
+    """
+    mixes = list(mixes)
+    policies = list(policies)
+    _check_inputs(mixes, policies)
+    config = config if config is not None else scaled_config()
+    settings = settings if settings is not None else RunnerSettings()
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    if telemetry_dir is not None:
+        Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
+        telemetry_dir = str(telemetry_dir)
+
+    sweep_jobs = [SweepJob(mix, policy) for mix in mixes
+                  for policy in policies]
+    job_args = [(config, settings, job, cache_dir, telemetry_dir)
+                for job in sweep_jobs]
+
+    if jobs == 1:
+        return [_run_job(args) for args in job_args]
+
+    warm_args = [(config, settings, mix, cache_dir) for mix in mixes]
+    with _executor(jobs) as pool:
+        if cache_dir is not None:
+            # Warm phase: build each mix's shared artifacts exactly once
+            # before fanning out, so concurrent (mix, policy) jobs hit
+            # the cache instead of racing to regenerate baselines.
+            list(pool.map(_warm_mix, warm_args))
+        return list(pool.map(_run_job, job_args))
+
+
+def generate_traces(mixes: Sequence[str],
+                    settings: Optional[RunnerSettings] = None,
+                    jobs: Optional[int] = None,
+                    cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR
+                    ) -> Dict[str, WorkloadTrace]:
+    """Build (or load from cache) the traces of ``mixes``, in parallel."""
+    mixes = list(mixes)
+    _check_inputs(mixes, [])
+    settings = settings if settings is not None else RunnerSettings()
+    if jobs is None:
+        jobs = default_jobs()
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    args = [(settings, mix, cache_dir) for mix in mixes]
+    if jobs == 1 or len(mixes) <= 1:
+        pairs = [_build_trace(a) for a in args]
+    else:
+        with _executor(jobs) as pool:
+            pairs = list(pool.map(_build_trace, args))
+    return dict(pairs)
+
+
+def sweep_table(outcomes: Sequence[SweepOutcome]) -> List[List[str]]:
+    """Rows (mix, policy, savings, CPI, wall) for a plain-text report."""
+    rows = []
+    for o in outcomes:
+        rows.append([
+            o.mix, o.policy,
+            f"{o.comparison.memory_energy_savings:+.1%}",
+            f"{o.comparison.system_energy_savings:+.1%}",
+            f"{o.comparison.worst_cpi_increase:+.1%}",
+            f"{o.wall_s:.2f}s",
+        ])
+    return rows

@@ -5,6 +5,18 @@ caches the generated trace and the all-on baseline run for each mix so
 that several policies can be compared against identical work, and it
 wires the MemScale policy's energy model to the rest-of-system power
 calibrated from that baseline (Section 4.1's 40% DIMM-share assumption).
+
+Two optional collaborators extend the in-memory caches:
+
+* an :class:`~repro.sim.cache.ExperimentCache` persists traces and
+  baseline runs on disk, keyed by content, so they survive the process
+  and are shared between the parallel runner's workers;
+* a :class:`~repro.sim.telemetry.TelemetrySink` passed to the run
+  methods streams one JSONL record per epoch of the policy run.
+
+For fan-out across (mix x policy) combinations, use
+:func:`repro.sim.parallel.run_sweep`, which drives this class from a
+process pool.
 """
 
 from __future__ import annotations
@@ -24,8 +36,10 @@ from repro.core.policy import MemScalePolicy, PolicyObjective
 from repro.cpu.trace import WorkloadTrace
 from repro.cpu.workloads import TraceGenerator
 from repro.memsim.states import PowerdownMode
+from repro.sim.cache import ExperimentCache
 from repro.sim.results import PolicyComparison, RunResult, compare_to_baseline
 from repro.sim.system import SystemSimulator
+from repro.sim.telemetry import TelemetrySink
 
 #: Names accepted by :meth:`ExperimentRunner.run_named_policy`, mirroring
 #: the alternatives of Section 4.2.3.
@@ -48,10 +62,12 @@ class ExperimentRunner:
     """Runs and compares energy-management policies on Table 1 mixes."""
 
     def __init__(self, config: Optional[SystemConfig] = None,
-                 settings: Optional[RunnerSettings] = None):
+                 settings: Optional[RunnerSettings] = None,
+                 cache: Optional[ExperimentCache] = None):
         self.config = config if config is not None else scaled_config()
         self.config.validate()
         self.settings = settings if settings is not None else RunnerSettings()
+        self.cache = cache
         self._traces: Dict[str, WorkloadTrace] = {}
         self._baselines: Dict[str, RunResult] = {}
         self._generator = TraceGenerator(seed=self.settings.seed)
@@ -59,23 +75,60 @@ class ExperimentRunner:
     # -- workload / baseline caches ------------------------------------------
 
     def trace(self, mix: str) -> WorkloadTrace:
-        """The (cached) deterministic trace of ``mix``."""
+        """The (cached) deterministic trace of ``mix``.
+
+        Consults the on-disk cache first when one is attached; a miss
+        regenerates the trace and stores it for future processes.
+        """
         if mix not in self._traces:
-            self._traces[mix] = self._generator.generate_mix(
-                mix, cores=self.settings.cores,
-                instructions_per_core=self.settings.instructions_per_core)
+            trace = None
+            key = None
+            if self.cache is not None:
+                key = self.cache.trace_key(
+                    mix, self.settings.cores,
+                    self.settings.instructions_per_core, self.settings.seed)
+                trace = self.cache.load_trace(key)
+            if trace is None:
+                trace = self._generator.generate_mix(
+                    mix, cores=self.settings.cores,
+                    instructions_per_core=self.settings.instructions_per_core)
+                if self.cache is not None:
+                    self.cache.store_trace(key, trace)
+            self._traces[mix] = trace
         return self._traces[mix]
 
-    def run_governor(self, mix: str, governor: Governor) -> RunResult:
+    def run_governor(self, mix: str, governor: Governor,
+                     telemetry: Optional[TelemetrySink] = None) -> RunResult:
         """Simulate ``mix`` under ``governor`` (no caching)."""
-        sim = SystemSimulator(self.config, self.trace(mix), governor)
+        sim = SystemSimulator(self.config, self.trace(mix), governor,
+                              telemetry=telemetry)
         return sim.run()
 
     def baseline(self, mix: str) -> RunResult:
-        """The (cached) all-on max-frequency reference run for ``mix``."""
+        """The (cached) all-on max-frequency reference run for ``mix``.
+
+        With an on-disk cache attached, the baseline is loaded from
+        disk when a content-identical run (same config, settings, and
+        mix) was stored by any earlier process or parallel worker.
+        """
         if mix not in self._baselines:
-            self._baselines[mix] = self.run_governor(mix, BaselineGovernor())
+            result = None
+            key = None
+            if self.cache is not None:
+                key = self.cache.baseline_key(
+                    self.config, mix, self.settings.cores,
+                    self.settings.instructions_per_core, self.settings.seed)
+                result = self.cache.load_run(key)
+            if result is None:
+                result = self.run_governor(mix, BaselineGovernor())
+                if self.cache is not None:
+                    self.cache.store_run(key, result)
+            self._baselines[mix] = result
         return self._baselines[mix]
+
+    def warm(self, mix: str) -> None:
+        """Populate the trace and baseline caches for ``mix``."""
+        self.baseline(mix)
 
     def rest_power_w(self, mix: str) -> float:
         """Fixed rest-of-system power calibrated from the mix's baseline."""
@@ -119,26 +172,53 @@ class ExperimentRunner:
 
     # -- comparisons --------------------------------------------------------------
 
-    def compare(self, mix: str, governor: Governor) -> PolicyComparison:
+    def compare(self, mix: str, governor: Governor,
+                telemetry: Optional[TelemetrySink] = None
+                ) -> PolicyComparison:
         """Run ``governor`` on ``mix`` and normalize to the baseline."""
-        base = self.baseline(mix)
-        result = self.run_governor(mix, governor)
-        return compare_to_baseline(
-            base, result,
-            cycle_ns=self.config.cpu.cycle_ns,
-            memory_power_fraction=self.config.power.memory_power_fraction)
+        _, comparison = self.run_and_compare(mix, governor, telemetry)
+        return comparison
 
-    def compare_named(self, mix: str, name: str) -> PolicyComparison:
-        return self.compare(mix, self.make_named_governor(mix, name))
+    def compare_named(self, mix: str, name: str,
+                      telemetry: Optional[TelemetrySink] = None
+                      ) -> PolicyComparison:
+        return self.compare(mix, self.make_named_governor(mix, name),
+                            telemetry=telemetry)
 
-    def run_memscale(self, mix: str, **kwargs
-                     ) -> Tuple[RunResult, PolicyComparison]:
-        """Convenience: MemScale run plus its baseline comparison."""
-        governor = self.make_memscale_governor(mix, **kwargs)
+    def run_and_compare(self, mix: str, governor: Governor,
+                        telemetry: Optional[TelemetrySink] = None
+                        ) -> Tuple[RunResult, PolicyComparison]:
+        """Run ``governor`` on ``mix``; return the run and its comparison."""
         base = self.baseline(mix)
-        result = self.run_governor(mix, governor)
+        result = self.run_governor(mix, governor, telemetry=telemetry)
         comparison = compare_to_baseline(
             base, result,
             cycle_ns=self.config.cpu.cycle_ns,
             memory_power_fraction=self.config.power.memory_power_fraction)
         return result, comparison
+
+    def run_named_policy(self, mix: str, name: str,
+                         telemetry: Optional[TelemetrySink] = None
+                         ) -> Tuple[RunResult, PolicyComparison]:
+        """Run the policy called ``name`` (one of :data:`POLICY_NAMES`)
+        on ``mix`` and compare it against the all-on baseline.
+
+        ``"Baseline"`` compares the reference run against itself (all
+        savings zero), which lets sweeps include it uniformly.
+        """
+        if name == "Baseline":
+            base = self.baseline(mix)
+            comparison = compare_to_baseline(
+                base, base,
+                cycle_ns=self.config.cpu.cycle_ns,
+                memory_power_fraction=self.config.power.memory_power_fraction)
+            return base, comparison
+        return self.run_and_compare(mix, self.make_named_governor(mix, name),
+                                    telemetry=telemetry)
+
+    def run_memscale(self, mix: str,
+                     telemetry: Optional[TelemetrySink] = None, **kwargs
+                     ) -> Tuple[RunResult, PolicyComparison]:
+        """Convenience: MemScale run plus its baseline comparison."""
+        governor = self.make_memscale_governor(mix, **kwargs)
+        return self.run_and_compare(mix, governor, telemetry=telemetry)

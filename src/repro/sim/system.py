@@ -30,16 +30,25 @@ from repro.sim.results import (
     accumulate_energy,
     breakdown_to_energy_dict,
 )
+from repro.sim.telemetry import TelemetrySink, epoch_record
 
 
 class SystemSimulator:
-    """One run: a workload trace under one energy-management governor."""
+    """One run: a workload trace under one energy-management governor.
+
+    ``telemetry`` optionally attaches a
+    :class:`~repro.sim.telemetry.TelemetrySink` that receives one JSONL
+    record per epoch (schema in EXPERIMENTS.md). The default ``None``
+    keeps the epoch loop free of telemetry work beyond a single
+    ``is None`` test, so disabled telemetry has no measurable overhead.
+    """
 
     def __init__(self, config: SystemConfig, workload: WorkloadTrace,
                  governor: Governor,
                  target_instructions: Optional[int] = None,
                  max_epochs: int = 200_000,
-                 refresh_enabled: bool = True):
+                 refresh_enabled: bool = True,
+                 telemetry: Optional[TelemetrySink] = None):
         config.validate()
         if len(workload) == 0:
             raise ValueError("workload has no cores")
@@ -60,6 +69,7 @@ class SystemSimulator:
                                       for c in workload.cores)
         self.target_instructions = target_instructions
         self._max_epochs = max_epochs
+        self._telemetry = telemetry
 
     # -- main loop ---------------------------------------------------------
 
@@ -82,11 +92,14 @@ class SystemSimulator:
             self.cluster.sync_committed()
             return controller.snapshot()
 
+        telemetry = self._telemetry
         epoch = 0
         epoch_start = engine.now
         snap_epoch = take_snapshot()
         finished = False
         while epoch < self._max_epochs and not finished:
+            if telemetry is not None:
+                energy_at_epoch_start = dict(energy_j)
             # ---- profiling phase (stage 1) ----
             freq_profile = controller.freq
             channels_profile = governor.channel_bus_mhz(controller)
@@ -122,8 +135,25 @@ class SystemSimulator:
                                       epoch_end - epoch_start)
                 snap_epoch = snap_end
 
-            timeline.append(self._sample_epoch(
-                epoch_end, freq_body, delta_epoch, device_mhz))
+            sample = self._sample_epoch(epoch_end, freq_body, delta_epoch,
+                                        device_mhz)
+            timeline.append(sample)
+            if telemetry is not None:
+                epoch_energy = {
+                    k: v - energy_at_epoch_start.get(k, 0.0)
+                    for k, v in energy_j.items()}
+                telemetry.emit(epoch_record(
+                    workload=self.workload.name,
+                    governor=governor.name,
+                    epoch=epoch,
+                    t_start_ns=epoch_start,
+                    t_end_ns=epoch_end,
+                    bus_mhz=sample.bus_mhz,
+                    actual_cpi=sample.app_cpi,
+                    energy_j=epoch_energy,
+                    memory_power_w=sample.memory_power_w,
+                    channel_util=list(sample.channel_util),
+                    governor_state=governor.telemetry_snapshot()))
             epoch += 1
             epoch_start = epoch_end
         if not finished:

@@ -1,0 +1,167 @@
+"""Structured per-epoch telemetry.
+
+The simulator and governor can stream one JSON record per epoch to a
+:class:`TelemetrySink` — the observability layer the gem5 power-down
+study (Jagtap et al.) argues is what makes epoch-based DVFS simulations
+debuggable. Telemetry is *disabled by default*: the simulator holds
+``None`` instead of a sink and pays only a single ``is None`` test per
+epoch, so there is no measurable overhead unless a sink is attached.
+
+Records follow the JSONL schema documented field-by-field in
+``EXPERIMENTS.md`` ("Telemetry JSONL schema"). One line = one epoch:
+
+    {"schema": 1, "kind": "epoch", "workload": "MID1",
+     "governor": "MemScale", "epoch": 3, "t_start_ns": ..., ...}
+
+Sinks:
+
+* :class:`JsonlTelemetry` — append records to a ``.jsonl`` file;
+* :class:`ListTelemetry`  — keep records in memory (tests, notebooks).
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Version written into every record; bump on schema changes.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Field names of an epoch record, in emission order (the JSONL schema
+#: contract checked by tests and documented in EXPERIMENTS.md).
+EPOCH_RECORD_FIELDS = (
+    "schema", "kind", "workload", "governor", "epoch",
+    "t_start_ns", "t_end_ns", "bus_mhz",
+    "predicted_cpi", "actual_cpi", "slack_ns",
+    "feasible_bus_mhz", "limited_by_slack",
+    "energy_j", "memory_power_w", "channel_util",
+)
+
+
+class TelemetrySink(abc.ABC):
+    """Receiver of per-epoch telemetry records."""
+
+    @abc.abstractmethod
+    def emit(self, record: Dict[str, object]) -> None:
+        """Consume one epoch record (a JSON-serializable dict)."""
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ListTelemetry(TelemetrySink):
+    """In-memory sink; ``records`` holds every emitted dict."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def emit(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+
+class JsonlTelemetry(TelemetrySink):
+    """Append-to-file sink writing one JSON object per line."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def emit(self, record: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def epoch_record(workload: str, governor: str, epoch: int,
+                 t_start_ns: float, t_end_ns: float, bus_mhz: float,
+                 actual_cpi: Dict[str, float],
+                 energy_j: Dict[str, float],
+                 memory_power_w: float,
+                 channel_util: List[float],
+                 governor_state: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+    """Build one schema-conformant epoch record.
+
+    ``governor_state`` carries the policy-side fields contributed by
+    :meth:`repro.core.governor.Governor.telemetry_snapshot`
+    (``predicted_cpi``, ``slack_ns``, ``feasible_bus_mhz``,
+    ``limited_by_slack``); governors without a prediction model leave
+    them ``None``.
+    """
+    state = governor_state or {}
+    return {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "kind": "epoch",
+        "workload": workload,
+        "governor": governor,
+        "epoch": epoch,
+        "t_start_ns": float(t_start_ns),
+        "t_end_ns": float(t_end_ns),
+        "bus_mhz": float(bus_mhz),
+        "predicted_cpi": state.get("predicted_cpi"),
+        "actual_cpi": {app: float(v) for app, v in actual_cpi.items()},
+        "slack_ns": state.get("slack_ns"),
+        "feasible_bus_mhz": state.get("feasible_bus_mhz"),
+        "limited_by_slack": state.get("limited_by_slack"),
+        "energy_j": {k: float(v) for k, v in energy_j.items()},
+        "memory_power_w": float(memory_power_w),
+        "channel_util": [float(u) for u in channel_util],
+    }
+
+
+def validate_epoch_record(record: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the JSONL schema.
+
+    Used by tests and by consumers replaying telemetry files from
+    other runs; checks field presence, types, and the schema version.
+    """
+    missing = [f for f in EPOCH_RECORD_FIELDS if f not in record]
+    if missing:
+        raise ValueError(f"epoch record missing fields: {missing}")
+    if record["schema"] != TELEMETRY_SCHEMA_VERSION:
+        raise ValueError(f"unsupported telemetry schema {record['schema']!r}")
+    if record["kind"] != "epoch":
+        raise ValueError(f"unknown record kind {record['kind']!r}")
+    for name, types in (("workload", str), ("governor", str), ("epoch", int),
+                        ("t_start_ns", (int, float)),
+                        ("t_end_ns", (int, float)),
+                        ("bus_mhz", (int, float)),
+                        ("memory_power_w", (int, float)),
+                        ("actual_cpi", dict), ("energy_j", dict),
+                        ("channel_util", list)):
+        if not isinstance(record[name], types):
+            raise ValueError(f"field {name!r} has type "
+                             f"{type(record[name]).__name__}")
+    for name in ("predicted_cpi", "slack_ns", "feasible_bus_mhz"):
+        if record[name] is not None and not isinstance(record[name], list):
+            raise ValueError(f"field {name!r} must be a list or null")
+    if record["limited_by_slack"] is not None \
+            and not isinstance(record["limited_by_slack"], bool):
+        raise ValueError("field 'limited_by_slack' must be a bool or null")
+
+
+def load_telemetry(path: PathLike) -> List[Dict[str, object]]:
+    """Read and validate every record of a telemetry JSONL file."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            validate_epoch_record(record)
+            records.append(record)
+    return records

@@ -21,7 +21,7 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for cmd in ("table1", "run", "figure", "timeline", "stats",
-                    "best-static"):
+                    "best-static", "sweep", "bench"):
             args = parser.parse_args(
                 [cmd] + (["MID1"] if cmd in ("run", "timeline", "stats",
                                              "best-static") else
@@ -80,3 +80,62 @@ class TestCommands:
         assert code == 0
         assert "best static frequency" in out
         assert "MemScale" in out
+
+
+class TestSweepCommand:
+    SMALL = ["--instructions", "8000", "--cores", "4"]
+
+    def test_sweep_serial(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "sweep", "--mixes", "MID1", "--policies", "MemScale",
+            "Static", "--jobs", "1", "--cache-dir", str(tmp_path / "c"),
+            *self.SMALL)
+        assert code == 0
+        assert "sweep: 1 mixes x 2 policies" in out
+        assert "MemScale" in out and "Static" in out
+
+    def test_sweep_parallel_with_telemetry_and_save(self, capsys, tmp_path):
+        save = tmp_path / "results.json"
+        code, out = run_cli(
+            capsys, "sweep", "--mixes", "MID1", "ILP1",
+            "--policies", "MemScale", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "c"),
+            "--telemetry", str(tmp_path / "t"),
+            "--save", str(save), *self.SMALL)
+        assert code == 0
+        assert (tmp_path / "t" / "MID1__MemScale.jsonl").exists()
+        from repro.sim.serialize import load_results
+        loaded = load_results(save)
+        assert len(loaded) == 4  # 2 results + 2 comparisons
+
+    def test_sweep_rejects_unknown_mix(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--mixes", "NOPE", "--jobs", "1",
+                  "--cache-dir", str(tmp_path / "c"), *self.SMALL])
+
+    def test_sweep_rejects_unknown_policy(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--mixes", "MID1", "--policies", "Bogus",
+                  "--jobs", "1", "--cache-dir", str(tmp_path / "c"),
+                  *self.SMALL])
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "sweep", "--mixes", "MID1", "--policies", "Static",
+            "--jobs", "1", "--no-cache", *self.SMALL)
+        assert code == 0
+        assert "cache=disabled" in out
+
+
+class TestBenchCommand:
+    def test_smoke_passes(self, capsys, tmp_path):
+        """The `make bench-smoke` target: 2 workers, tiny mix, parallel
+        path end to end (wired into tier-1 via this test)."""
+        code, out = run_cli(capsys, "bench", "--smoke", "--jobs", "2",
+                            "--cache-dir", str(tmp_path / "c"))
+        assert code == 0
+        assert "SMOKE OK" in out
+
+    def test_requires_smoke_flag(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--cache-dir", str(tmp_path / "c")])

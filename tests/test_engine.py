@@ -89,6 +89,76 @@ class TestCancellation:
         assert engine.pending == 1
 
 
+class TestCancelledHead:
+    """Regression: a cancelled head event with an otherwise-empty queue
+    must behave exactly like an empty queue in every engine entry point
+    (lazy deletion, see ``EventEngine._drop_cancelled``)."""
+
+    def make_engine_with_cancelled_only_event(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(5.0, lambda: fired.append(5))
+        handle.cancel()
+        return engine, fired
+
+    def test_peek_time_reports_empty(self):
+        engine, _ = self.make_engine_with_cancelled_only_event()
+        assert engine.peek_time() is None
+
+    def test_step_reports_no_events_and_keeps_clock(self):
+        engine, fired = self.make_engine_with_cancelled_only_event()
+        assert engine.step() is False
+        assert engine.now == 0.0
+        assert fired == []
+        assert engine.events_processed == 0
+
+    def test_run_until_still_advances_clock(self):
+        engine, fired = self.make_engine_with_cancelled_only_event()
+        engine.run_until(100.0)
+        assert engine.now == 100.0
+        assert fired == []
+
+    def test_run_drains_without_firing(self):
+        engine, fired = self.make_engine_with_cancelled_only_event()
+        engine.run()
+        assert fired == []
+        assert engine.pending == 0
+
+    def test_pending_is_zero(self):
+        engine, _ = self.make_engine_with_cancelled_only_event()
+        assert engine.pending == 0
+
+    def test_cancel_head_beyond_cutoff_then_run_until(self):
+        # The cancelled head lies beyond the cutoff: run_until must not
+        # fire it, and must leave the clock at the cutoff.
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(50.0, lambda: fired.append(50))
+        handle.cancel()
+        engine.run_until(10.0)
+        assert engine.now == 10.0
+        assert fired == []
+
+    def test_callback_cancels_same_time_successor(self):
+        # An event cancelling its same-timestamp successor leaves the
+        # queue with a cancelled head; the engine must then be empty.
+        engine = EventEngine()
+        fired = []
+        later = engine.schedule(5.0, lambda: fired.append("later"))
+        engine.schedule_at(0.0, later.cancel)
+        engine.schedule_at(5.0, lambda: fired.append("first"))
+        engine.run()
+        assert fired == ["first"]
+        assert engine.peek_time() is None
+
+    def test_scheduling_after_cancelled_only_queue(self):
+        engine, fired = self.make_engine_with_cancelled_only_event()
+        assert engine.peek_time() is None
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [2]
+
+
 class TestRunUntil:
     def test_advances_clock_even_when_queue_empty(self):
         engine = EventEngine()

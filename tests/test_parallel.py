@@ -1,0 +1,202 @@
+"""Tests for the parallel runner (sim/parallel.py) and the on-disk
+cache (sim/cache.py): hit/miss/invalidation semantics, corruption
+fallback, and serial-vs-parallel determinism."""
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.cpu.workloads import MIXES
+from repro.sim.cache import ExperimentCache
+from repro.sim.parallel import (
+    generate_traces,
+    run_sweep,
+    sweep_table,
+    telemetry_filename,
+)
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+from repro.sim.serialize import run_result_to_dict
+from repro.sim.telemetry import load_telemetry
+
+SETTINGS = RunnerSettings(cores=4, instructions_per_core=8_000, seed=7)
+
+
+def result_bytes(result):
+    """Canonical byte representation for exact-equality assertions."""
+    return json.dumps(run_result_to_dict(result), sort_keys=True).encode()
+
+
+class TestCache:
+    def test_trace_miss_then_hit(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        runner = ExperimentRunner(settings=SETTINGS, cache=cache)
+        runner.trace("MID1")
+        assert (cache.hits, cache.misses) == (0, 1)
+        # A fresh runner over the same cache loads instead of generating.
+        cache2 = ExperimentCache(tmp_path)
+        runner2 = ExperimentRunner(settings=SETTINGS, cache=cache2)
+        trace = runner2.trace("MID1")
+        assert (cache2.hits, cache2.misses) == (1, 0)
+        assert trace.rpki == runner.trace("MID1").rpki
+
+    def test_baseline_miss_then_hit_is_identical(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        runner = ExperimentRunner(settings=SETTINGS, cache=cache)
+        first = runner.baseline("MID1")
+        runner2 = ExperimentRunner(settings=SETTINGS,
+                                   cache=ExperimentCache(tmp_path))
+        second = runner2.baseline("MID1")
+        assert result_bytes(first) == result_bytes(second)
+
+    def test_config_change_invalidates_baseline(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        config = scaled_config()
+        key_a = cache.baseline_key(config, "MID1", 4, 8_000, 7)
+        key_b = cache.baseline_key(config.with_policy(cpi_bound=0.05),
+                                   "MID1", 4, 8_000, 7)
+        assert key_a != key_b
+
+    def test_settings_change_invalidates_trace(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        assert cache.trace_key("MID1", 4, 8_000, 7) \
+            != cache.trace_key("MID1", 4, 8_000, 8)
+        assert cache.trace_key("MID1", 4, 8_000, 7) \
+            != cache.trace_key("MID1", 4, 16_000, 7)
+        assert cache.trace_key("MID1", 4, 8_000, 7) \
+            != cache.trace_key("MID2", 4, 8_000, 7)
+
+    def test_trace_key_ignores_config(self, tmp_path):
+        """Config sweeps (Figures 12-15) must share one trace per mix."""
+        cache = ExperimentCache(tmp_path)
+        runner_a = ExperimentRunner(config=scaled_config(),
+                                    settings=SETTINGS, cache=cache)
+        runner_a.trace("MID1")
+        cache_b = ExperimentCache(tmp_path)
+        runner_b = ExperimentRunner(
+            config=scaled_config().with_policy(cpi_bound=0.05),
+            settings=SETTINGS, cache=cache_b)
+        runner_b.trace("MID1")
+        assert cache_b.hits == 1
+
+    def test_corrupted_trace_falls_back_to_regeneration(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        runner = ExperimentRunner(settings=SETTINGS, cache=cache)
+        expected = runner.trace("MID1")
+        path = cache._trace_path(
+            cache.trace_key("MID1", SETTINGS.cores,
+                            SETTINGS.instructions_per_core, SETTINGS.seed))
+        path.write_bytes(b"not an npz file")
+        cache2 = ExperimentCache(tmp_path)
+        runner2 = ExperimentRunner(settings=SETTINGS, cache=cache2)
+        regenerated = runner2.trace("MID1")
+        assert cache2.hits == 0 and cache2.misses == 1
+        assert not path.exists() or path.stat().st_size > 20
+        assert regenerated.rpki == expected.rpki
+
+    def test_corrupted_baseline_falls_back_to_rerun(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        runner = ExperimentRunner(settings=SETTINGS, cache=cache)
+        expected = runner.baseline("MID1")
+        key = cache.baseline_key(runner.config, "MID1", SETTINGS.cores,
+                                 SETTINGS.instructions_per_core,
+                                 SETTINGS.seed)
+        cache._run_path(key).write_text("{ truncated json")
+        cache2 = ExperimentCache(tmp_path)
+        runner2 = ExperimentRunner(settings=SETTINGS, cache=cache2)
+        rerun = runner2.baseline("MID1")
+        assert result_bytes(rerun) == result_bytes(expected)
+
+    def test_entries_counts_stored_artifacts(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        assert cache.entries == 0
+        runner = ExperimentRunner(settings=SETTINGS, cache=cache)
+        runner.baseline("MID1")
+        assert cache.entries == 2  # one trace + one baseline run
+
+
+class TestRunSweep:
+    def test_rejects_unknown_inputs(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            run_sweep(["NOPE"], ["MemScale"], settings=SETTINGS,
+                      cache_dir=None, jobs=1)
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_sweep(["MID1"], ["NOPE"], settings=SETTINGS,
+                      cache_dir=None, jobs=1)
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(["MID1"], ["MemScale"], settings=SETTINGS,
+                      cache_dir=None, jobs=0)
+
+    def test_outcomes_in_input_order(self, tmp_path):
+        outcomes = run_sweep(["MID2", "MID1"], ["Static", "MemScale"],
+                             settings=SETTINGS, jobs=1,
+                             cache_dir=tmp_path / "c")
+        assert [(o.mix, o.policy) for o in outcomes] == [
+            ("MID2", "Static"), ("MID2", "MemScale"),
+            ("MID1", "Static"), ("MID1", "MemScale")]
+        assert sweep_table(outcomes)  # report rows render
+
+    def test_parallel_matches_serial_byte_identically(self, tmp_path):
+        mixes, policies = ["MID1", "ILP1"], ["MemScale", "Static"]
+        serial = run_sweep(mixes, policies, settings=SETTINGS, jobs=1,
+                           cache_dir=None)
+        parallel = run_sweep(mixes, policies, settings=SETTINGS, jobs=2,
+                             cache_dir=tmp_path / "c")
+        for a, b in zip(serial, parallel):
+            assert (a.mix, a.policy) == (b.mix, b.policy)
+            assert result_bytes(a.result) == result_bytes(b.result)
+            assert a.comparison.system_energy_savings \
+                == b.comparison.system_energy_savings
+
+    def test_rerun_with_warm_cache_is_identical(self, tmp_path):
+        cold = run_sweep(["MID1"], ["MemScale"], settings=SETTINGS,
+                         jobs=2, cache_dir=tmp_path / "c")
+        warm = run_sweep(["MID1"], ["MemScale"], settings=SETTINGS,
+                         jobs=2, cache_dir=tmp_path / "c")
+        assert result_bytes(cold[0].result) == result_bytes(warm[0].result)
+        assert warm[0].cache_hits >= 2  # trace + baseline both from disk
+
+    def test_baseline_policy_compares_to_itself(self, tmp_path):
+        outcomes = run_sweep(["MID1"], ["Baseline"], settings=SETTINGS,
+                             jobs=1, cache_dir=tmp_path / "c")
+        cmp = outcomes[0].comparison
+        assert cmp.memory_energy_savings == pytest.approx(0.0)
+        assert cmp.worst_cpi_increase == pytest.approx(0.0)
+
+    def test_telemetry_files_written_per_run(self, tmp_path):
+        outcomes = run_sweep(["MID1"], ["MemScale", "Static"],
+                             settings=SETTINGS, jobs=2,
+                             cache_dir=tmp_path / "c",
+                             telemetry_dir=tmp_path / "t")
+        for o in outcomes:
+            assert o.telemetry_path is not None
+            records = load_telemetry(o.telemetry_path)
+            assert len(records) == o.result.epochs
+            # Governor names may embed detail (e.g. "Static-467MHz").
+            assert records[0]["governor"].startswith(o.policy)
+
+    def test_telemetry_filename_is_filesystem_safe(self):
+        name = telemetry_filename("MID1", "MemScale(MemEnergy)")
+        assert "(" not in name and ")" not in name
+        assert name.endswith(".jsonl")
+
+
+class TestGenerateTraces:
+    def test_matches_serial_generation(self, tmp_path):
+        import numpy as np
+        traces = generate_traces(["MID1", "ILP1"], settings=SETTINGS,
+                                 jobs=2, cache_dir=tmp_path / "c")
+        runner = ExperimentRunner(settings=SETTINGS)
+        for mix in ("MID1", "ILP1"):
+            expected = runner.trace(mix)
+            got = traces[mix]
+            assert len(got) == len(expected)
+            for a, b in zip(expected.cores, got.cores):
+                assert np.array_equal(a.gaps, b.gaps)
+                assert np.array_equal(a.read_addrs, b.read_addrs)
+                assert np.array_equal(a.wb_addrs, b.wb_addrs)
+
+    def test_all_mixes_resolve(self, tmp_path):
+        traces = generate_traces(list(MIXES)[:3], settings=SETTINGS,
+                                 jobs=1, cache_dir=None)
+        assert len(traces) == 3

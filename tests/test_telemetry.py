@@ -1,0 +1,157 @@
+"""Tests for the per-epoch telemetry stream (sim/telemetry.py)."""
+
+import json
+
+import pytest
+
+from repro.config import NS_PER_US, scaled_config
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+from repro.sim.system import SystemSimulator
+from repro.sim.telemetry import (
+    EPOCH_RECORD_FIELDS,
+    TELEMETRY_SCHEMA_VERSION,
+    JsonlTelemetry,
+    ListTelemetry,
+    epoch_record,
+    load_telemetry,
+    validate_epoch_record,
+)
+
+SETTINGS = RunnerSettings(cores=4, instructions_per_core=20_000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(settings=SETTINGS)
+
+
+class TestSchema:
+    def test_epoch_record_has_every_schema_field(self):
+        record = epoch_record(
+            workload="MID1", governor="MemScale", epoch=0,
+            t_start_ns=0.0, t_end_ns=20_000.0, bus_mhz=800.0,
+            actual_cpi={"ammp": 2.0}, energy_j={"mc": 0.1},
+            memory_power_w=25.0, channel_util=[0.1, 0.2, 0.3, 0.4])
+        assert tuple(record) == EPOCH_RECORD_FIELDS
+        validate_epoch_record(record)
+
+    def test_governor_state_fields_default_to_null(self):
+        record = epoch_record(
+            workload="MID1", governor="Baseline", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        assert record["predicted_cpi"] is None
+        assert record["slack_ns"] is None
+        assert record["limited_by_slack"] is None
+
+    def test_validate_rejects_missing_field(self):
+        record = epoch_record(
+            workload="MID1", governor="MemScale", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        del record["bus_mhz"]
+        with pytest.raises(ValueError, match="missing"):
+            validate_epoch_record(record)
+
+    def test_validate_rejects_wrong_schema_version(self):
+        record = epoch_record(
+            workload="MID1", governor="MemScale", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        record["schema"] = TELEMETRY_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            validate_epoch_record(record)
+
+
+class TestSimulatorEmission:
+    def test_disabled_by_default(self, runner):
+        trace = runner.trace("MID1")
+        sim = SystemSimulator(runner.config, trace,
+                              runner.make_memscale_governor("MID1"))
+        assert sim._telemetry is None
+        sim.run()  # no sink: must run exactly as before
+
+    def test_one_record_per_epoch(self, runner):
+        sink = ListTelemetry()
+        governor = runner.make_memscale_governor("MID1")
+        result = runner.run_governor("MID1", governor, telemetry=sink)
+        assert len(sink.records) == result.epochs
+        for i, record in enumerate(sink.records):
+            validate_epoch_record(record)
+            assert record["epoch"] == i
+            assert record["workload"] == "MID1"
+            assert record["governor"] == "MemScale"
+        # Epochs tile the run: each record starts where the last ended.
+        for prev, cur in zip(sink.records, sink.records[1:]):
+            assert cur["t_start_ns"] == prev["t_end_ns"]
+
+    def test_memscale_records_carry_policy_state(self, runner):
+        sink = ListTelemetry()
+        governor = runner.make_memscale_governor("MID1")
+        runner.run_governor("MID1", governor, telemetry=sink)
+        # Any epoch after a frequency decision has prediction + slack.
+        decided = [r for r in sink.records if r["predicted_cpi"] is not None]
+        assert decided, "no epoch carried policy state"
+        for record in decided:
+            assert len(record["predicted_cpi"]) == SETTINGS.cores
+            assert len(record["slack_ns"]) == SETTINGS.cores
+            assert isinstance(record["limited_by_slack"], bool)
+            assert all(f > 0 for f in record["feasible_bus_mhz"])
+
+    def test_baseline_records_have_null_policy_state(self, runner):
+        from repro.core.baselines import BaselineGovernor
+        sink = ListTelemetry()
+        runner.run_governor("MID1", BaselineGovernor(), telemetry=sink)
+        assert sink.records
+        for record in sink.records:
+            assert record["predicted_cpi"] is None
+            assert record["slack_ns"] is None
+
+    def test_epoch_energy_sums_to_run_total(self, runner):
+        sink = ListTelemetry()
+        governor = runner.make_memscale_governor("MID2")
+        result = runner.run_governor("MID2", governor, telemetry=sink)
+        for component, total in result.energy_j.items():
+            streamed = sum(r["energy_j"].get(component, 0.0)
+                           for r in sink.records)
+            assert streamed == pytest.approx(total, rel=1e-9), component
+
+    def test_telemetry_does_not_change_results(self, runner):
+        from repro.sim.serialize import run_result_to_dict
+        plain = runner.run_governor("MID1",
+                                    runner.make_memscale_governor("MID1"))
+        sink = ListTelemetry()
+        observed = runner.run_governor(
+            "MID1", runner.make_memscale_governor("MID1"), telemetry=sink)
+        assert (json.dumps(run_result_to_dict(plain), sort_keys=True)
+                == json.dumps(run_result_to_dict(observed), sort_keys=True))
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, runner, tmp_path):
+        path = tmp_path / "mid1.jsonl"
+        with JsonlTelemetry(path) as sink:
+            governor = runner.make_memscale_governor("MID1")
+            result = runner.run_governor("MID1", governor, telemetry=sink)
+        records = load_telemetry(path)
+        assert len(records) == result.epochs
+        assert all(r["kind"] == "epoch" for r in records)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with JsonlTelemetry(path) as sink:
+            sink.emit(epoch_record(
+                workload="MID1", governor="MemScale", epoch=0,
+                t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+                actual_cpi={}, energy_j={}, memory_power_w=0.0,
+                channel_util=[]))
+        assert len(load_telemetry(path)) == 1
+
+    def test_load_rejects_invalid_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": 1, "kind": "epoch"}\n')
+        with pytest.raises(ValueError):
+            load_telemetry(path)
