@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench sweep clean-cache
+.PHONY: test bench-smoke bench sweep validate clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,6 +10,12 @@ test:
 # if the epoch loop, cache, or savings sanity checks fail.
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --jobs 2
+
+# Smoke mix with the DDR3 protocol validator armed in every simulated
+# run (timing, freeze-window, refresh, powerdown, and conservation
+# checks raise on the first violation).
+validate:
+	$(PYTHON) -m repro bench --smoke --jobs 2 --validate --no-cache
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

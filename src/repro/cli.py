@@ -50,6 +50,8 @@ def _make_runner(args) -> ExperimentRunner:
     config = scaled_config()
     if getattr(args, "bound", None) is not None:
         config = config.with_policy(cpi_bound=args.bound)
+    if getattr(args, "validate", False):
+        config = config.replace(validate_protocol=True)
     return ExperimentRunner(
         config=config,
         settings=RunnerSettings(cores=args.cores,
@@ -120,6 +122,8 @@ def cmd_run(args) -> None:
     print(format_table(["application", "CPI increase"], app_rows))
     if args.telemetry:
         print(f"\nper-epoch telemetry written to {args.telemetry}")
+    if args.validate:
+        print("\nprotocol validator: armed, zero violations")
 
 
 def cmd_sweep(args) -> None:
@@ -134,6 +138,8 @@ def cmd_sweep(args) -> None:
     config = scaled_config()
     if args.bound is not None:
         config = config.with_policy(cpi_bound=args.bound)
+    if args.validate:
+        config = config.replace(validate_protocol=True)
     settings = RunnerSettings(cores=args.cores,
                               instructions_per_core=args.instructions,
                               seed=args.seed)
@@ -154,6 +160,9 @@ def cmd_sweep(args) -> None:
     cache_note = cache_dir if cache_dir is not None else "disabled"
     print(f"\n{len(outcomes)} runs in {wall:.2f}s wall "
           f"(jobs={jobs}, cache={cache_note})")
+    if args.validate:
+        print("protocol validator: armed on every simulated run, "
+              "zero violations")
     if args.telemetry:
         print(f"per-epoch telemetry JSONL files in {args.telemetry}/")
     if args.save:
@@ -169,10 +178,13 @@ def cmd_bench(args) -> None:
                          "with: pytest benchmarks/ --benchmark-only -s")
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    config = scaled_config()
+    if args.validate:
+        config = config.replace(validate_protocol=True)
     settings = RunnerSettings(cores=4, instructions_per_core=8_000, seed=2011)
     cache_dir = None if args.no_cache else args.cache_dir
     start = time.perf_counter()
-    outcomes = run_sweep(["MID1"], ["MemScale", "Static"],
+    outcomes = run_sweep(["MID1"], ["MemScale", "Static"], config=config,
                          settings=settings, jobs=args.jobs,
                          cache_dir=cache_dir)
     wall = time.perf_counter() - start
@@ -185,12 +197,27 @@ def cmd_bench(args) -> None:
                             f"{o.comparison.system_energy_savings:+.1%}")
         if o.comparison.memory_energy_savings <= 0.0:
             failures.append(f"{o.mix}/{o.policy}: no memory savings")
+    # Validator-armed leg: a tiny in-process run (DVFS + powerdown +
+    # refresh) with the DDR3 protocol validator raising on any violation,
+    # so tier-1 exercises the armed path even when the sweep above was
+    # satisfied from cache.
+    from repro.memsim.validate import ProtocolViolation
+    vrunner = ExperimentRunner(
+        config=scaled_config().replace(validate_protocol=True),
+        settings=RunnerSettings(cores=4, instructions_per_core=2_000,
+                                seed=2011),
+        cache=None)
+    try:
+        vrunner.run_named_policy("MID1", "MemScale+Fast-PD")
+    except ProtocolViolation as exc:
+        failures.append(f"validator: {exc}")
     print(format_table(
         ["workload", "policy", "mem savings", "sys savings",
          "worst CPI", "job wall"],
         sweep_table(outcomes), title="bench smoke (parallel path)"))
     if failures:
         raise SystemExit("SMOKE FAILED:\n  " + "\n  ".join(failures))
+    print("validator: armed leg passed (zero protocol violations)")
     print(f"\nSMOKE OK: {len(outcomes)} runs, {args.jobs} workers, "
           f"{wall:.2f}s wall")
 
@@ -296,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CPI degradation bound (default 0.10)")
     p.add_argument("--telemetry", default=None, metavar="FILE",
                    help="stream per-epoch telemetry JSONL to FILE")
+    p.add_argument("--validate", action="store_true",
+                   help="arm the DDR3 protocol validator (raises on any "
+                        "timing/invariant violation)")
     _add_scale_args(p)
     _add_cache_args(p, default=None)
     p.set_defaults(func=cmd_run)
@@ -315,6 +345,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CPI degradation bound (default 0.10)")
     p.add_argument("--save", default=None, metavar="FILE",
                    help="save all results/comparisons to a JSON file")
+    p.add_argument("--validate", action="store_true",
+                   help="arm the DDR3 protocol validator in every worker")
     _add_scale_args(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_sweep)
@@ -324,6 +356,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run one tiny mix through the parallel path")
     p.add_argument("--jobs", type=int, default=2,
                    help="worker processes for the smoke run (default 2)")
+    p.add_argument("--validate", action="store_true",
+                   help="also arm the DDR3 protocol validator in the "
+                        "smoke sweep itself")
     _add_cache_args(p)
     p.set_defaults(func=cmd_bench)
 

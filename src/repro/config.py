@@ -285,6 +285,10 @@ class SystemConfig:
     power: PowerConfig = field(default_factory=PowerConfig)
     policy: PolicyConfig = field(default_factory=PolicyConfig)
     bus_freqs_mhz: Tuple[float, ...] = AVAILABLE_BUS_FREQS_MHZ
+    #: Arm the runtime DDR3 protocol validator (memsim/validate.py). An
+    #: observer only — simulated results are identical either way, so the
+    #: experiment cache deliberately ignores this flag.
+    validate_protocol: bool = False
 
     @property
     def max_bus_freq_mhz(self) -> float:

@@ -61,7 +61,7 @@ class StaticFrequencyGovernor(Governor):
         # the system never ran at another frequency.
         point = controller.ladder.at_bus_mhz(self._bus_mhz)
         controller.set_frequency(point)
-        controller.frozen_until_ns = 0.0
+        controller.clear_freeze()
 
 
 class DecoupledDimmGovernor(Governor):

@@ -12,6 +12,11 @@ from repro.memsim.engine import Event, EventEngine, SimulationError
 from repro.memsim.request import MemRequest, RequestKind
 from repro.memsim.states import PowerdownMode, RankPowerState
 from repro.memsim.timing import AccessClass, TimingCalculator
+from repro.memsim.validate import (
+    ProtocolValidator,
+    ProtocolViolation,
+    Violation,
+)
 
 __all__ = [
     "AccessClass",
@@ -25,9 +30,12 @@ __all__ = [
     "MemoryLocation",
     "MemRequest",
     "PowerdownMode",
+    "ProtocolValidator",
+    "ProtocolViolation",
     "RankPowerState",
     "RequestKind",
     "SimulationError",
     "TimingCalculator",
+    "Violation",
     "WRITEBACK_QUEUE_CAPACITY",
 ]

@@ -80,21 +80,30 @@ class Bank:
         flipped priority to writebacks (Section 4.1)."""
         if self._controller.writebacks_have_priority(self._channel.channel_id):
             if self.write_q:
-                return self.write_q.popleft()
+                return self._pop_write()
             if self.read_q:
                 return self.read_q.popleft()
         else:
             if self.read_q:
                 return self.read_q.popleft()
             if self.write_q:
-                return self.write_q.popleft()
+                return self._pop_write()
         return None
+
+    def _pop_write(self) -> MemRequest:
+        """Dequeue a writeback and drop the channel's queue-pressure count
+        (occupancy excludes in-service writes, Section 4.1)."""
+        request = self.write_q.popleft()
+        self._controller.on_write_dequeued(self._channel.channel_id)
+        return request
 
     # -- service -------------------------------------------------------------
 
     def _start_service(self, request: MemRequest) -> None:
         now = self._engine.now
-        start = max(now, self._controller.frozen_until_ns,
+        start = max(now,
+                    self._controller.channel_frozen_until_ns(
+                        self._channel.channel_id),
                     self._rank.refresh_busy_until)
         # Exiting powerdown costs tXP / tXPDLL and is counted via EPDC.
         exit_penalty = self._rank.wake_for_access()
@@ -131,6 +140,11 @@ class Bank:
         self.open_row = request.location.row
         self._rank.notify_bank_activity()
         request.bank_start_ns = start
+        v = self._controller.validator
+        if v is not None:
+            v.on_service_start(self._channel.channel_id,
+                               self._rank.global_rank_index, self.bank_id,
+                               request, access, start, data_ready)
         self._engine.schedule_at(data_ready, lambda: self._bank_done(request))
 
     def _classify(self, request: MemRequest) -> AccessClass:
@@ -181,6 +195,11 @@ class Bank:
             pre_start = max(burst_end, self._current_act_ns + self._timing.ras_ns())
             free_at = pre_start + self._timing.precharge_ns()
             self.open_row = None
+            v = self._controller.validator
+            if v is not None:
+                v.on_precharge(self._channel.channel_id,
+                               self._rank.global_rank_index, self.bank_id,
+                               pre_start, free_at)
             self._engine.schedule_at(free_at, lambda: self._free(free_at))
 
     def _peek_next(self) -> Optional[MemRequest]:

@@ -46,12 +46,15 @@ class Channel:
 
     def _start_burst(self, request: MemRequest, bank: "Bank") -> None:
         now = self._engine.now
-        start = max(now, self._controller.frozen_until_ns)
+        start = max(now, self._controller.channel_frozen_until_ns(self.channel_id))
         burst_ns = self._controller.channel_freq(self.channel_id).burst_ns
         self._bus_busy = True
         request.bus_start_ns = start
         self._counters.record_access(self.channel_id, request.is_read, burst_ns)
         end = start + burst_ns
+        v = self._controller.validator
+        if v is not None:
+            v.on_burst(self.channel_id, request, start, end)
         self._engine.schedule_at(end, lambda: self._end_burst(request, bank))
 
     def _end_burst(self, request: MemRequest, bank: "Bank") -> None:

@@ -28,6 +28,7 @@ from repro.memsim.rank import Rank
 from repro.memsim.request import MemRequest, RequestKind
 from repro.memsim.states import PowerdownMode
 from repro.memsim.timing import TimingCalculator
+from repro.memsim.validate import ProtocolValidator
 
 #: Writeback queue capacity per channel; reads lose priority when the
 #: occupancy reaches half of this (Section 4.1).
@@ -57,12 +58,15 @@ class MemoryController:
                                     n_channels=org.channels,
                                     n_ranks=org.total_ranks)
         self.frozen_until_ns = 0.0
+        self._channel_frozen_until_ns: List[float] = [0.0] * org.channels
         self.transition_count = 0
         self.completed_reads = 0
         self.completed_writes = 0
         self._in_flight = 0
         self._wb_pending: List[int] = [0] * org.channels
         self._wb_priority: List[bool] = [False] * org.channels
+        self.wb_overflow_count = 0
+        self.validator: Optional[ProtocolValidator] = None
 
         self.channels: List[Channel] = [
             Channel(engine, self.counters, self, c) for c in range(org.channels)
@@ -85,6 +89,9 @@ class MemoryController:
                     banks.append(bank)
                 rank.attach_banks(banks)
                 self.ranks.append(rank)
+
+        if config.validate_protocol:
+            self.attach_validator(ProtocolValidator(config))
 
     # -- public properties ----------------------------------------------------
 
@@ -118,6 +125,28 @@ class MemoryController:
         """Extra per-access device latency (Decoupled-DIMM mode), else 0."""
         return self._device_extra_ns
 
+    def attach_validator(self, validator: ProtocolValidator) -> None:
+        """Install a protocol validator; hooks fire on every command event.
+
+        Attach before traffic flows (ideally at construction, via
+        ``SystemConfig.validate_protocol``) so the conservation invariants
+        are exact. When no validator is attached every hook site costs a
+        single ``is None`` check.
+        """
+        self.validator = validator
+        for rank in self.ranks:
+            rank.validator = validator
+        validator.bind(self)
+
+    def channel_frozen_until_ns(self, channel_id: int) -> float:
+        """When channel ``channel_id`` may next start a command.
+
+        The later of the global (MC) freeze window and the channel's own
+        re-lock window from :meth:`set_channel_frequency`.
+        """
+        per = self._channel_frozen_until_ns[channel_id]
+        return per if per > self.frozen_until_ns else self.frozen_until_ns
+
     def channel_freq(self, channel_id: int) -> FrequencyPoint:
         """The frequency of one channel (per-channel DFS extension).
 
@@ -144,17 +173,31 @@ class MemoryController:
 
     def submit(self, request: MemRequest) -> None:
         """Accept a request from the LLC; it reaches its bank after the MC
-        processing latency (5 MC cycles at the current frequency)."""
+        processing latency (5 MC cycles at the current frequency).
+
+        During a frequency-transition freeze the MC is suspended, so a
+        request first waits out the freeze window and *then* pays the MC
+        processing latency.
+        """
         now = self._engine.now
         request.issue_ns = now
         request.arrive_mc_ns = now
         self._in_flight += 1
+        v = self.validator
+        if v is not None:
+            v.on_submit(request, now, self._freq.mc_latency_ns)
         if not request.is_read:
             ch = request.location.channel
             self._wb_pending[ch] += 1
+            if self._wb_pending[ch] > WRITEBACK_QUEUE_CAPACITY:
+                self.wb_overflow_count += 1
             self._update_wb_priority(ch)
-        mc_delay = max(self._freq.mc_latency_ns,
-                       self.frozen_until_ns - now)
+            if v is not None:
+                v.on_wb_occupancy(ch, self._wb_pending[ch], now)
+        freeze_wait = self.frozen_until_ns - now
+        if freeze_wait < 0.0:
+            freeze_wait = 0.0
+        mc_delay = freeze_wait + self._freq.mc_latency_ns
         self._engine.schedule(mc_delay, lambda: self._arrive_at_bank(request))
 
     def submit_read(self, line_addr: int, core_id: int = 0, app_id: int = 0,
@@ -180,6 +223,9 @@ class MemoryController:
         loc = request.location
         bank = self._banks[(loc.channel, loc.rank, loc.bank)]
         request.arrive_bank_ns = self._engine.now
+        v = self.validator
+        if v is not None:
+            v.on_arrive(request, self._engine.now)
         # Sample the transactions-outstanding accumulators (Section 3.1)
         # at arrival, before this request is added.
         self.counters.record_bank_arrival(float(bank.outstanding))
@@ -196,11 +242,29 @@ class MemoryController:
                 request.on_complete(request)
         else:
             self.completed_writes += 1
-            ch = request.location.channel
-            self._wb_pending[ch] -= 1
-            self._update_wb_priority(ch)
+        v = self.validator
+        if v is not None:
+            v.on_complete(request, self._engine.now)
 
     # -- writeback priority -------------------------------------------------------
+
+    def on_write_dequeued(self, channel_id: int) -> None:
+        """A writeback left its queue for bank service.
+
+        The Section 4.1 priority rule is driven by queue *occupancy*, so
+        the pressure count drops here — when the write is dequeued — not
+        at burst completion.
+        """
+        self._wb_pending[channel_id] -= 1
+        self._update_wb_priority(channel_id)
+        v = self.validator
+        if v is not None:
+            v.on_wb_occupancy(channel_id, self._wb_pending[channel_id],
+                              self._engine.now)
+
+    def wb_queue_occupancy(self, channel_id: int) -> int:
+        """Writebacks queued on ``channel_id`` (excludes in-service writes)."""
+        return self._wb_pending[channel_id]
 
     def writebacks_have_priority(self, channel_id: int) -> bool:
         """True while the channel's writeback queue is at least half
@@ -229,6 +293,9 @@ class MemoryController:
         self._freq = point
         self._channel_freqs.clear()
         self.transition_count += 1
+        v = self.validator
+        if v is not None:
+            v.on_global_freeze(self.frozen_until_ns, point)
         return penalty
 
     def set_frequency_by_bus_mhz(self, bus_mhz: float) -> float:
@@ -239,9 +306,11 @@ class MemoryController:
         """Per-channel DFS (the paper's first future-work item).
 
         Re-locks a single channel (and its DIMMs) to ``point``; other
-        channels and the MC keep the global frequency. Returns the
-        transition penalty (channels re-lock through the same precharge
-        powerdown + DLL resync path).
+        channels and the MC keep the global frequency *and keep
+        operating* — only this channel's freeze window is stamped, so an
+        unrelated channel never stalls on another channel's re-lock.
+        Returns the transition penalty (channels re-lock through the same
+        precharge powerdown + DLL resync path).
         """
         if not 0 <= channel_id < self._config.org.channels:
             raise ValueError(f"no such channel: {channel_id}")
@@ -249,11 +318,28 @@ class MemoryController:
         if point.bus_mhz == current.bus_mhz:
             return 0.0
         penalty = self._config.policy.transition_penalty_ns(current.bus_mhz)
-        self.frozen_until_ns = max(self.frozen_until_ns,
-                                   self._engine.now + penalty)
+        self._channel_frozen_until_ns[channel_id] = max(
+            self._channel_frozen_until_ns[channel_id],
+            self._engine.now + penalty)
         self._channel_freqs[channel_id] = point
         self.transition_count += 1
+        v = self.validator
+        if v is not None:
+            v.on_channel_freeze(channel_id,
+                                self._channel_frozen_until_ns[channel_id],
+                                point)
         return penalty
+
+    def clear_freeze(self) -> None:
+        """Drop all pending freeze windows (boot-time configuration only;
+        baseline governors use this so their initial frequency choice is
+        not charged as a runtime transition)."""
+        self.frozen_until_ns = 0.0
+        for channel_id in range(len(self._channel_frozen_until_ns)):
+            self._channel_frozen_until_ns[channel_id] = 0.0
+        v = self.validator
+        if v is not None:
+            v.on_freeze_cleared()
 
     def set_device_extra_latency_ns(self, extra_ns: float) -> None:
         """Decoupled-DIMM support: slower devices behind a full-speed bus

@@ -32,6 +32,8 @@ class Rank:
         self.n_banks = n_banks
         self.powerdown_mode = powerdown_mode
         self._banks: List[object] = []  # populated by the controller wiring
+        #: protocol validator, installed by MemoryController.attach_validator
+        self.validator = None
         # power state accounting
         self._state = RankPowerState.PRECHARGE_STANDBY
         self._state_since = engine.now
@@ -42,9 +44,11 @@ class Rank:
         self._refresh_due = False
         self._refresh_enabled = refresh_enabled
         if refresh_enabled:
-            # stagger the first refresh across ranks to avoid lock-step
+            # Stagger the first refresh across ranks to avoid lock-step.
+            # The offset pulls the first tick *earlier* so that every
+            # rank's first refresh lands within one tREFI of time zero.
             offset = (global_rank_index % 16) / 16.0 * timing.refresh_interval_ns()
-            engine.schedule(timing.refresh_interval_ns() + offset, self._refresh_timer)
+            engine.schedule(timing.refresh_interval_ns() - offset, self._refresh_timer)
 
     # -- wiring -----------------------------------------------------------
 
@@ -74,6 +78,10 @@ class Rank:
     def _transition(self, new_state: RankPowerState) -> None:
         if new_state is self._state:
             return
+        v = self.validator
+        if v is not None:
+            v.on_rank_state(self.global_rank_index, self._state, new_state,
+                            self._engine.now, self._any_bank_busy())
         self.sync_accounting()
         self._state = new_state
 
@@ -104,6 +112,9 @@ class Rank:
         if not self.cke_low:
             return 0.0
         self._counters.record_powerdown_exit()
+        v = self.validator
+        if v is not None:
+            v.on_powerdown_exit(self.global_rank_index, self._engine.now)
         self._transition(RankPowerState.PRECHARGE_STANDBY
                          if self._state.all_precharged
                          else RankPowerState.ACTIVE_STANDBY)
@@ -130,6 +141,9 @@ class Rank:
 
     def _refresh_timer(self) -> None:
         self._refresh_due = True
+        v = self.validator
+        if v is not None:
+            v.on_refresh_due(self.global_rank_index, self._engine.now)
         self._engine.schedule(self._timing.refresh_interval_ns(), self._refresh_timer)
         self._maybe_start_refresh()
 
@@ -142,10 +156,15 @@ class Rank:
             return
         self._refresh_due = False
         # refresh executes from standby: wake the rank without an access
-        if self.cke_low:
+        was_powered_down = self.cke_low
+        if was_powered_down:
             self._transition(RankPowerState.PRECHARGE_STANDBY)
         self.refresh_busy_until = now + self._timing.refresh_ns()
         self._counters.record_refresh(self.global_rank_index)
+        v = self.validator
+        if v is not None:
+            v.on_refresh_issue(self.global_rank_index, now,
+                               self.refresh_busy_until, was_powered_down)
         self._engine.schedule_at(self.refresh_busy_until, self._refresh_done)
 
     def _refresh_done(self) -> None:

@@ -46,12 +46,22 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Bumped whenever the cached representation (or the simulation it
 #: captures) changes incompatibly; old entries then become unreachable.
-CACHE_FORMAT = 1
+#: Format 2: DDR3 timing bugfixes (freeze-window MC latency, per-channel
+#: freeze, refresh stagger, writeback-pressure accounting) changed
+#: simulated results, so format-1 baselines are stale.
+CACHE_FORMAT = 2
 
 
 def config_fingerprint(config: SystemConfig) -> Dict[str, object]:
-    """A JSON-serializable dict capturing every field of ``config``."""
-    return dataclasses.asdict(config)
+    """A JSON-serializable dict capturing every field of ``config``.
+
+    ``validate_protocol`` is excluded: the validator only observes, so a
+    run produces byte-identical results armed or not and the two may
+    share cache entries.
+    """
+    payload = dataclasses.asdict(config)
+    payload.pop("validate_protocol", None)
+    return payload
 
 
 def _digest(payload: Dict[str, object]) -> str:

@@ -162,6 +162,9 @@ class SystemSimulator:
                 f"{self.target_instructions} instructions within "
                 f"{self._max_epochs} epochs")
 
+        if controller.validator is not None:
+            controller.validator.finalize()
+
         wall = max(core.time_at_target_ns for core in self.cluster.cores)
         return RunResult(
             workload=self.workload.name,

@@ -139,3 +139,32 @@ class TestBenchCommand:
     def test_requires_smoke_flag(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["bench", "--cache-dir", str(tmp_path / "c")])
+
+
+class TestValidateFlag:
+    """--validate arms the DDR3 protocol validator (PR-2 tentpole)."""
+
+    SMALL = ["--instructions", "8000", "--cores", "4"]
+
+    def test_run_with_validator(self, capsys):
+        code, out = run_cli(capsys, "run", "MID1", "--validate",
+                            *self.SMALL)
+        assert code == 0
+        assert "protocol validator: armed, zero violations" in out
+
+    def test_sweep_with_validator(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "sweep", "--mixes", "MID1", "--policies", "MemScale",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "c"),
+            "--validate", *self.SMALL)
+        assert code == 0
+        assert "protocol validator: armed on every simulated run" in out
+
+    def test_bench_smoke_with_validator(self, capsys, tmp_path):
+        """The `make validate` target: armed smoke end to end."""
+        code, out = run_cli(capsys, "bench", "--smoke", "--jobs", "2",
+                            "--cache-dir", str(tmp_path / "c"),
+                            "--validate")
+        assert code == 0
+        assert "SMOKE OK" in out
+        assert "validator: armed leg passed" in out

@@ -62,7 +62,7 @@ class TestControllerPerChannel:
         from repro.memsim.address import MemoryLocation
         engine, mc = make_controller()
         mc.set_channel_frequency(0, mc.ladder.at_bus_mhz(200.0))
-        engine.run_until(mc.frozen_until_ns)
+        engine.run_until(mc.channel_frozen_until_ns(0))
         done = []
         req = MemRequest(RequestKind.READ,
                          MemoryLocation(0, 0, 0, 0, 0),

@@ -335,3 +335,88 @@ class TestAccounting:
         snap = mc.snapshot()
         assert snap.rank_state_ns.sum() == pytest.approx(
             500.0 * len(mc.ranks))
+
+
+class TestBugfixRegressions:
+    """Pin the four DDR3 timing bugs fixed alongside the validator.
+
+    Each test fails against the pre-fix code (documented inline) and
+    passes after the fix.
+    """
+
+    def test_submit_during_freeze_still_pays_mc_latency(self):
+        # Pre-fix, submit() charged max(mc_latency, freeze_wait), so a
+        # request submitted mid-freeze arrived exactly at freeze-end
+        # with the MC pipeline latency swallowed.
+        engine, mc = make_controller()
+        mc.set_frequency_by_bus_mhz(400.0)
+        freeze_end = mc.frozen_until_ns
+        assert freeze_end > 0.0
+        done = []
+        request = submit_read(mc, loc(), done)
+        engine.run()
+        assert request.arrive_bank_ns == pytest.approx(
+            freeze_end + mc.freq.mc_latency_ns)
+
+    def test_channel_frequency_freeze_is_per_channel(self):
+        # Pre-fix, set_channel_frequency stamped the *global*
+        # frozen_until_ns, stalling every channel for one channel's
+        # re-lock.
+        engine, mc = make_controller()
+        point = mc.ladder.at_bus_mhz(200.0)
+        mc.set_channel_frequency(2, point)
+        assert mc.frozen_until_ns == 0.0
+        assert mc.channel_frozen_until_ns(2) > 0.0
+        # channel 0 is untouched: same latency as a fresh controller
+        done = []
+        request = submit_read(mc, loc(channel=0), done)
+        engine.run_until(engine.now + 100.0)
+        expected = 5 * 0.625 + 15.0 + 15.0 + 4 * 1.25
+        assert request.total_latency_ns == pytest.approx(expected)
+
+    def test_channel_freeze_stalls_that_channels_requests(self):
+        engine, mc = make_controller()
+        point = mc.ladder.at_bus_mhz(200.0)
+        mc.set_channel_frequency(2, point)
+        blocked_until = mc.channel_frozen_until_ns(2)
+        done = []
+        request = submit_read(mc, loc(channel=2), done)
+        engine.run()
+        assert done
+        assert request.bank_start_ns >= blocked_until - 1e-9
+
+    def test_every_rank_refreshes_within_first_trefi(self):
+        # Pre-fix, rank k's first refresh timer fired at
+        # tREFI * (1 + k/16) — every rank except rank 0 blew through
+        # the JEDEC refresh interval on its very first cycle.
+        engine, mc = make_controller(refresh=True)
+        engine.run_until(CFG.timings.t_refi_ns + 1.0)
+        assert all(r >= 1 for r in mc.counters.refreshes)
+
+    def test_wb_queue_drains_at_service_not_completion(self):
+        # Pre-fix, _wb_pending was decremented when a write's burst
+        # completed, so writes being serviced still counted against the
+        # writeback queue and read-priority stayed depressed too long.
+        engine, mc = make_controller()
+        # 16 writes to 16 distinct banks: all dequeue for service at
+        # the same instant, none complete yet.
+        for b in range(16):
+            request = MemRequest(RequestKind.WRITE,
+                                 loc(bank=b % 8, rank=b // 8))
+            mc.submit(request)
+        assert mc.writebacks_have_priority(0)
+        engine.run_until(mc.freq.mc_latency_ns + 0.5)
+        # every write has left the queue for bank service...
+        assert mc.wb_queue_occupancy(0) == 0
+        # ...so reads regain priority immediately, not at completion
+        assert not mc.writebacks_have_priority(0)
+        assert mc.completed_writes == 0
+
+    def test_wb_overflow_counted(self):
+        engine, mc = make_controller()
+        # same bank: nothing can drain before the burst of submissions
+        for i in range(WRITEBACK_QUEUE_CAPACITY + 1):
+            request = MemRequest(RequestKind.WRITE, loc(row=i))
+            mc.submit(request)
+        assert mc.wb_overflow_count == 1
+        engine.run()
