@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench sweep validate clean-cache
+.PHONY: test bench-smoke bench bench-perf sweep validate clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,8 +17,15 @@ bench-smoke:
 validate:
 	$(PYTHON) -m repro bench --smoke --jobs 2 --validate --no-cache
 
+# Micro-benchmarks (pytest-benchmark; declared in the [bench] extra).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Simulator-throughput benchmark: pinned workloads, events/sec recorded
+# to BENCH_perf.json, non-zero exit on a >10% regression vs the
+# committed baseline (same machine only).
+bench-perf:
+	$(PYTHON) -m repro perfbench
 
 sweep:
 	$(PYTHON) -m repro sweep --mixes ILP1 MID1 MID2 MEM1 \

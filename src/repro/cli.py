@@ -6,6 +6,7 @@ Every experiment is reachable from the shell::
     python -m repro run MID3 --policy MemScale --instructions 200000
     python -m repro sweep --mixes MID1 MID2 --policies MemScale Static --jobs 4
     python -m repro bench --smoke
+    python -m repro perfbench
     python -m repro figure 5
     python -m repro timeline MID3
     python -m repro stats MEM1
@@ -222,6 +223,20 @@ def cmd_bench(args) -> None:
           f"{wall:.2f}s wall")
 
 
+def cmd_perfbench(args) -> None:
+    from repro.sim.perfbench import PerfRegressionError, run_perfbench
+    try:
+        run_perfbench(output=args.output, repeats=args.repeats,
+                      scenarios=args.scenarios,
+                      update_baseline=args.update_baseline,
+                      max_regression=args.max_regression)
+    except PerfRegressionError as exc:
+        raise SystemExit(f"PERF REGRESSION: {exc}")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print("perfbench: throughput within the regression gate")
+
+
 def cmd_figure(args) -> None:
     runner = _make_runner(args)
     settings = runner.settings
@@ -361,6 +376,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "smoke sweep itself")
     _add_cache_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("perfbench",
+                       help="simulator-throughput benchmark with a "
+                            "regression gate (writes BENCH_perf.json)")
+    p.add_argument("--repeats", type=int, default=10,
+                   help="best-of-N repeats per scenario (default 10)")
+    p.add_argument("--output", default="BENCH_perf.json", metavar="FILE",
+                   help="benchmark/baseline JSON file (default "
+                        "BENCH_perf.json)")
+    p.add_argument("--scenarios", nargs="+", default=None, metavar="NAME",
+                   help="subset of scenarios to run (default: all)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="re-seed the committed baseline from this run")
+    p.add_argument("--max-regression", type=float, default=0.10,
+                   help="max fractional throughput drop vs baseline "
+                        "before failing (default 0.10)")
+    p.set_defaults(func=cmd_perfbench)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int)

@@ -75,18 +75,31 @@ class EnergyModel:
         return self._power
 
     def estimate(self, delta: CounterDelta, profiled_freq: FrequencyPoint,
-                 candidate: FrequencyPoint,
-                 base: FrequencyPoint) -> EnergyEstimate:
+                 candidate: FrequencyPoint, base: FrequencyPoint,
+                 cache: Optional[dict] = None) -> EnergyEstimate:
         """Predict SER and power for running the profiled work at ``candidate``.
 
         ``base`` is the SER reference (the paper's nominal frequency: the
         maximum). All predictions derive from counters profiled at
         ``profiled_freq``.
+
+        ``cache`` (optional, caller-owned, valid for one ``delta`` /
+        ``profiled_freq`` pair) memoizes the base-frequency reference and
+        shared sub-predictions across a candidate scan; every model here
+        is pure, so cached results are identical to fresh ones.
         """
-        scale_cand = self._perf.time_scale(delta, profiled_freq, candidate)
-        scale_base = self._perf.time_scale(delta, profiled_freq, base)
+        scale_cand = self._perf.time_scale(delta, profiled_freq, candidate,
+                                           cache=cache)
+        base_ref = cache.get("base") if cache is not None else None
+        if base_ref is None:
+            scale_base = self._perf.time_scale(delta, profiled_freq, base,
+                                               cache=cache)
+            p_base = self._power.predict(delta, base, scale_base)
+            if cache is not None:
+                cache["base"] = (scale_base, p_base)
+        else:
+            scale_base, p_base = base_ref
         p_cand = self._power.predict(delta, candidate, scale_cand)
-        p_base = self._power.predict(delta, base, scale_base)
         sys_cand = p_cand.memory_w + self.rest_power_w
         sys_base = p_base.memory_w + self.rest_power_w
         denom = scale_base * sys_base

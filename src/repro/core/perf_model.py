@@ -155,16 +155,38 @@ class PerformanceModel:
 
     def time_scale(self, delta: CounterDelta, from_freq: FrequencyPoint,
                    to_freq: FrequencyPoint,
-                   pd_exit_ns: Optional[float] = None) -> float:
+                   pd_exit_ns: Optional[float] = None,
+                   cache: Optional[dict] = None) -> float:
         """Predicted execution-time ratio T(to) / T(from) for the mix.
 
         Instruction-weighted mean of the per-core CPI ratios: cores with
         more committed work dominate the epoch's wall-clock length.
+
+        ``cache`` optionally memoizes the sub-predictions for repeated
+        calls with the *same* ``delta``/``pd_exit_ns`` (the policy's
+        candidate scan evaluates ten candidates against one profile);
+        the model is pure, so cached and fresh results are identical.
         """
-        at_from = self.predict(delta, from_freq, pd_exit_ns,
-                               profiled_freq=from_freq).cpi
-        at_to = self.predict(delta, to_freq, pd_exit_ns,
-                             profiled_freq=from_freq).cpi
+        if cache is None:
+            at_from = self.predict(delta, from_freq, pd_exit_ns,
+                                   profiled_freq=from_freq).cpi
+        else:
+            key = ("cpi", from_freq.bus_mhz)
+            at_from = cache.get(key)
+            if at_from is None:
+                at_from = self.predict(delta, from_freq, pd_exit_ns,
+                                       profiled_freq=from_freq).cpi
+                cache[key] = at_from
+        if cache is None:
+            at_to = self.predict(delta, to_freq, pd_exit_ns,
+                                 profiled_freq=from_freq).cpi
+        else:
+            key = ("cpi_at", from_freq.bus_mhz, to_freq.bus_mhz)
+            at_to = cache.get(key)
+            if at_to is None:
+                at_to = self.predict(delta, to_freq, pd_exit_ns,
+                                     profiled_freq=from_freq).cpi
+                cache[key] = at_to
         weights = np.asarray(delta.tic, dtype=np.float64)
         total = weights.sum()
         if total <= 0:

@@ -132,6 +132,9 @@ class MemScalePolicy:
         best_cpi: Optional[np.ndarray] = None
         feasible: List[float] = []
         rejected = False
+        # one profile delta serves the whole candidate scan: let the
+        # energy model reuse its base reference and shared predictions
+        estimate_cache: dict = {}
         for candidate in self._ladder:
             cpi_f = self._perf.predict(profile_delta, candidate,
                                        self._pd_exit_ns,
@@ -151,7 +154,8 @@ class MemScalePolicy:
                 continue
             feasible.append(candidate.bus_mhz)
             estimate = self._energy.estimate(profile_delta, current_freq,
-                                             candidate, base)
+                                             candidate, base,
+                                             cache=estimate_cache)
             score = (estimate.ser
                      if self.objective is PolicyObjective.SYSTEM_ENERGY
                      else estimate.memory_energy_ratio)

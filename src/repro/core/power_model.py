@@ -29,7 +29,6 @@ from typing import Optional, Sequence
 from repro.config import SystemConfig
 from repro.core.frequency import FrequencyLadder, FrequencyPoint
 from repro.memsim.counters import CounterDelta
-from repro.memsim.states import RankPowerState
 
 
 @dataclass(frozen=True)
@@ -236,20 +235,25 @@ class PowerModel:
 
     def _rank_background_w(self, delta: CounterDelta, rank: int,
                            bus_mhz: float) -> float:
-        """Background power of one rank at its channel's clock."""
+        """Background power of one rank at its channel's clock.
+
+        The state rows are unpacked to plain floats in one ``tolist``
+        call (index order follows ``counters._STATE_ORDER``); each term
+        keeps the ``frac * idd * vdd * chips * derate`` evaluation order
+        so results match the original per-state loop bit for bit.
+        """
+        interval = delta.interval_ns
+        if interval <= 0:
+            return 0.0
         cur = self._config.currents
+        vdd = cur.vdd
         chips = self._config.org.chips_per_rank
         derate = self._freq_derate(bus_mhz)
-        state_current = {
-            RankPowerState.ACTIVE_STANDBY: cur.idd3n,
-            RankPowerState.PRECHARGE_STANDBY: cur.idd2n,
-            RankPowerState.ACTIVE_POWERDOWN: cur.idd3p,
-            RankPowerState.PRECHARGE_POWERDOWN: cur.idd2p,
-        }
-        total = 0.0
-        for state, idd in state_current.items():
-            frac = delta.rank_state_fraction(rank, state)
-            total += frac * idd * cur.vdd * chips * derate
+        act_stby, pre_stby, act_pd, pre_pd = delta.rank_state_ns[rank].tolist()
+        total = (act_stby / interval) * cur.idd3n * vdd * chips * derate
+        total += (pre_stby / interval) * cur.idd2n * vdd * chips * derate
+        total += (act_pd / interval) * cur.idd3p * vdd * chips * derate
+        total += (pre_pd / interval) * cur.idd2p * vdd * chips * derate
         return total
 
     def predict(self, delta: CounterDelta, candidate: FrequencyPoint,
@@ -275,19 +279,19 @@ class PowerModel:
 
         # Background: hold absolute active/powerdown time, stretch standby.
         cur = self._config.currents
+        vdd = cur.vdd
         chips = self._config.org.chips_per_rank
         derate = self._freq_derate(candidate.bus_mhz)
         total_bg = 0.0
-        for rank in range(delta.rank_state_ns.shape[0]):
-            t_act = delta.rank_state_ns[rank].copy()
+        for row in delta.rank_state_ns.tolist():
             # index order matches counters._STATE_ORDER
-            act_stby, pre_stby, act_pd, pre_pd = t_act
+            act_stby, pre_stby, act_pd, pre_pd = row
             fixed = act_stby + act_pd + pre_pd
             pre_stby_new = max(0.0, interval - fixed)
-            times = (act_stby, pre_stby_new, act_pd, pre_pd)
-            currents = (cur.idd3n, cur.idd2n, cur.idd3p, cur.idd2p)
-            for t_ns, idd in zip(times, currents):
-                total_bg += (t_ns / interval) * idd * cur.vdd * chips * derate
+            total_bg += (act_stby / interval) * cur.idd3n * vdd * chips * derate
+            total_bg += (pre_stby_new / interval) * cur.idd2n * vdd * chips * derate
+            total_bg += (act_pd / interval) * cur.idd3p * vdd * chips * derate
+            total_bg += (pre_pd / interval) * cur.idd2p * vdd * chips * derate
 
         refresh_w = (float(delta.refreshes.sum()) * time_scale
                      * self._e_refresh_rank_j / (interval * 1e-9))

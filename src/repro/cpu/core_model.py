@@ -24,7 +24,22 @@ from repro.memsim.request import MemRequest
 
 
 class Core:
-    """One in-order core replaying a trace."""
+    """One in-order core replaying a trace.
+
+    The trace's numpy arrays are unpacked into plain Python int lists at
+    construction: the replay loop touches one element per event, where a
+    numpy scalar read plus ``int()`` costs several times a list index.
+    The per-instruction time is likewise computed once.
+    """
+
+    __slots__ = (
+        "_engine", "_controller", "_counters", "_cpu", "_trace", "core_id",
+        "app_id", "app_name", "_loop", "_cursor", "_passes", "_len",
+        "instructions_committed", "misses_issued", "blocked", "finished",
+        "_started", "target_instructions", "time_at_target_ns",
+        "_gap_start_ns", "_gap_total", "_gap_done", "_instr_ns",
+        "_gaps", "_read_addrs", "_wb_addrs", "on_target_reached",
+    )
 
     def __init__(self, engine: EventEngine, controller: MemoryController,
                  cpu: CpuConfig, trace: CoreTrace, core_id: int,
@@ -33,6 +48,7 @@ class Core:
             raise ValueError(f"core {core_id}: empty trace")
         self._engine = engine
         self._controller = controller
+        self._counters = controller.counters
         self._cpu = cpu
         self._trace = trace
         self.core_id = core_id
@@ -41,6 +57,11 @@ class Core:
         self._loop = loop_trace
         self._cursor = 0
         self._passes = 0
+        self._len = len(trace)
+        self._gaps = [int(g) for g in trace.gaps]
+        self._read_addrs = [int(a) for a in trace.read_addrs]
+        self._wb_addrs = [int(a) for a in trace.wb_addrs]
+        self._instr_ns = cpu.cpi_cpu * cpu.cycle_ns
         self.instructions_committed = 0
         self.misses_issued = 0
         self.blocked = False
@@ -48,6 +69,8 @@ class Core:
         self._started = False
         self.target_instructions: Optional[int] = None
         self.time_at_target_ns: Optional[float] = None
+        #: Optional callback fired once, when the target is first reached.
+        self.on_target_reached = None
         # progressive-commit state for the gap currently being executed
         self._gap_start_ns = 0.0
         self._gap_total = 0
@@ -61,7 +84,7 @@ class Core:
     @property
     def instruction_time_ns(self) -> float:
         """Wall-clock time per committed CPU instruction."""
-        return self._cpu.cpi_cpu * self._cpu.cycle_ns
+        return self._instr_ns
 
     def set_target(self, instructions: int) -> None:
         """Record the time at which this core commits its N-th instruction.
@@ -78,9 +101,6 @@ class Core:
     @property
     def reached_target(self) -> bool:
         return self.time_at_target_ns is not None
-
-    #: Optional callback fired once, when the target is first reached.
-    on_target_reached = None
 
     def _check_target(self) -> None:
         if (self.target_instructions is not None
@@ -100,18 +120,17 @@ class Core:
     # -- replay loop -----------------------------------------------------
 
     def _schedule_next_issue(self) -> None:
-        if self._cursor >= len(self._trace):
+        if self._cursor >= self._len:
             if not self._loop:
                 self.finished = True
                 return
             self._cursor = 0
             self._passes += 1
-        gap = int(self._trace.gaps[self._cursor])
+        gap = self._gaps[self._cursor]
         self._gap_start_ns = self._engine.now
         self._gap_total = gap
         self._gap_done = 0
-        compute_ns = gap * self.instruction_time_ns
-        self._engine.schedule(compute_ns, lambda: self._issue(gap))
+        self._engine.post(gap * self._instr_ns, lambda: self._issue(gap))
 
     def sync_committed(self) -> None:
         """Commit the instructions of the in-progress compute gap.
@@ -123,12 +142,12 @@ class Core:
         if self.blocked or self.finished or self._gap_total <= 0:
             return
         elapsed = self._engine.now - self._gap_start_ns
-        done = min(self._gap_total, int(elapsed / self.instruction_time_ns))
+        done = min(self._gap_total, int(elapsed / self._instr_ns))
         if done > self._gap_done:
             delta = done - self._gap_done
             self._gap_done = done
             self.instructions_committed += delta
-            self._controller.counters.commit_instructions(self.core_id, delta)
+            self._counters.commit_instructions(self.core_id, delta)
             self._check_target()
 
     def _issue(self, gap: int) -> None:
@@ -137,16 +156,16 @@ class Core:
         self._gap_done = gap
         if remaining > 0:
             self.instructions_committed += remaining
-            self._controller.counters.commit_instructions(self.core_id, remaining)
+            self._counters.commit_instructions(self.core_id, remaining)
         self._check_target()
         i = self._cursor
         self._cursor += 1
-        read_addr = int(self._trace.read_addrs[i])
-        wb_addr = int(self._trace.wb_addrs[i])
+        read_addr = self._read_addrs[i]
+        wb_addr = self._wb_addrs[i]
         if wb_addr >= 0:
             self._controller.submit_writeback(wb_addr, core_id=self.core_id,
                                               app_id=self.app_id)
-        self._controller.counters.record_llc_miss(self.core_id)
+        self._counters.record_llc_miss(self.core_id)
         self.misses_issued += 1
         self.blocked = True
         self._controller.submit_read(read_addr, core_id=self.core_id,
@@ -157,7 +176,7 @@ class Core:
         # The missing instruction itself commits when its data returns.
         self.blocked = False
         self.instructions_committed += 1
-        self._controller.counters.commit_instructions(self.core_id, 1)
+        self._counters.commit_instructions(self.core_id, 1)
         self._check_target()
         self._schedule_next_issue()
 

@@ -7,17 +7,21 @@ workloads the paper studies (its MC "exploits bank interleaving",
 Section 4.1). Consecutive lines walk channels first, then banks, so a
 streaming access pattern spreads across all channels and banks before it
 revisits one.
+
+:class:`MemoryLocation` is a :class:`~typing.NamedTuple` rather than a
+frozen dataclass: it is created once per simulated request on the MC's
+submit path, and tuple construction/field access run at C speed while
+keeping value equality and hashability.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.config import MemoryOrgConfig
 
 
-@dataclass(frozen=True)
-class MemoryLocation:
+class MemoryLocation(NamedTuple):
     """Fully decoded target of one memory access."""
 
     channel: int
@@ -34,9 +38,17 @@ class MemoryLocation:
 class AddressMapper:
     """Bidirectional line-address <-> :class:`MemoryLocation` mapping."""
 
+    __slots__ = ("_org", "_channels", "_banks_per_rank", "_ranks_per_channel",
+                 "_lines_per_row", "_rows_per_bank")
+
     def __init__(self, org: MemoryOrgConfig):
         self._org = org
+        # geometry divisors hoisted out of the per-request decode loop
+        self._channels = org.channels
+        self._banks_per_rank = org.banks_per_rank
+        self._ranks_per_channel = org.ranks_per_channel
         self._lines_per_row = org.lines_per_row
+        self._rows_per_bank = org.rows_per_bank
 
     @property
     def org(self) -> MemoryOrgConfig:
@@ -46,21 +58,18 @@ class AddressMapper:
         """Decode a cache-line index into its physical location."""
         if line_addr < 0:
             raise ValueError(f"negative line address: {line_addr}")
-        org = self._org
-        addr, channel = divmod(line_addr, org.channels)
-        addr, bank = divmod(addr, org.banks_per_rank)
-        addr, rank = divmod(addr, org.ranks_per_channel)
+        addr, channel = divmod(line_addr, self._channels)
+        addr, bank = divmod(addr, self._banks_per_rank)
+        addr, rank = divmod(addr, self._ranks_per_channel)
         row_index, column = divmod(addr, self._lines_per_row)
-        row = row_index % org.rows_per_bank
-        return MemoryLocation(channel=channel, rank=rank, bank=bank,
-                              row=row, column=column)
+        row = row_index % self._rows_per_bank
+        return MemoryLocation(channel, rank, bank, row, column)
 
     def encode(self, loc: MemoryLocation) -> int:
         """Inverse of :meth:`decode` (modulo row wrap-around)."""
-        org = self._org
         addr = loc.row
         addr = addr * self._lines_per_row + loc.column
-        addr = addr * org.ranks_per_channel + loc.rank
-        addr = addr * org.banks_per_rank + loc.bank
-        addr = addr * org.channels + loc.channel
+        addr = addr * self._ranks_per_channel + loc.rank
+        addr = addr * self._banks_per_rank + loc.bank
+        addr = addr * self._channels + loc.channel
         return addr

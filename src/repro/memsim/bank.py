@@ -6,6 +6,12 @@ bank* until the channel bus accepts their data burst (transfer blocking).
 Row-buffer management is closed-page: the row is precharged after every
 access unless the next request already queued for the bank targets the
 same row (Section 4.1).
+
+Hot-path notes: the fixed-in-ns DDR timings are cached as plain floats
+at construction (they never change over a run), the bank maintains its
+rank's ``_active_banks`` / ``_open_rows`` counters at the activity
+transition points so the rank never scans its banks, and service/
+precharge completions go through the engine's handle-free ``post_at``.
 """
 
 from __future__ import annotations
@@ -27,6 +33,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 class Bank:
     """One bank of a rank, with its request queues and row buffer."""
 
+    __slots__ = (
+        "_engine", "_timing", "_counters", "_controller", "_channel",
+        "_rank", "bank_id", "read_q", "write_q", "busy", "open_row",
+        "_in_service", "_last_act_ns", "_current_act_ns",
+        "_t_cl_ns", "_t_rcd_ns", "_t_rp_ns", "_t_rc_ns", "_t_ras_ns",
+    )
+
     def __init__(self, engine: EventEngine, timing: TimingCalculator,
                  counters: CounterFile, controller: "MemoryController",
                  channel: "Channel", rank: Rank, bank_id: int):
@@ -44,6 +57,13 @@ class Bank:
         self._in_service: Optional[MemRequest] = None
         self._last_act_ns = float("-inf")
         self._current_act_ns = float("-inf")
+        # fixed-in-ns constants, cached out of the per-command path
+        table = timing.table
+        self._t_cl_ns = table.t_cl_ns
+        self._t_rcd_ns = table.t_rcd_ns
+        self._t_rp_ns = table.t_rp_ns
+        self._t_rc_ns = table.t_rc_ns
+        self._t_ras_ns = table.t_ras_ns
 
     # -- queue interface ----------------------------------------------------
 
@@ -58,6 +78,9 @@ class Bank:
 
     def enqueue(self, request: MemRequest) -> None:
         """Add a request; the controller has already stamped its arrival."""
+        if not self.busy and not self.read_q and not self.write_q:
+            # idle-with-empty-queues -> active transition (rank bookkeeping)
+            self._rank._active_banks += 1
         if request.is_read:
             self.read_q.append(request)
         else:
@@ -66,7 +89,7 @@ class Bank:
 
     def kick(self) -> None:
         """Attempt to start servicing the next request, if idle."""
-        if self.busy or not self.has_pending:
+        if self.busy or not (self.read_q or self.write_q):
             return
         if self._rank.refresh_busy_until > self._engine.now:
             # resume when the refresh completes (the rank kicks us back)
@@ -78,7 +101,7 @@ class Bank:
     def _select_next(self) -> Optional[MemRequest]:
         """FCFS reads-first, unless the channel writeback queue pressure
         flipped priority to writebacks (Section 4.1)."""
-        if self._controller.writebacks_have_priority(self._channel.channel_id):
+        if self._controller._wb_priority[self._channel.channel_id]:
             if self.write_q:
                 return self._pop_write()
             if self.read_q:
@@ -100,70 +123,68 @@ class Bank:
     # -- service -------------------------------------------------------------
 
     def _start_service(self, request: MemRequest) -> None:
-        now = self._engine.now
+        engine = self._engine
+        controller = self._controller
+        rank = self._rank
+        now = engine.now
         start = max(now,
-                    self._controller.channel_frozen_until_ns(
+                    controller.channel_frozen_until_ns(
                         self._channel.channel_id),
-                    self._rank.refresh_busy_until)
+                    rank.refresh_busy_until)
         # Exiting powerdown costs tXP / tXPDLL and is counted via EPDC.
-        exit_penalty = self._rank.wake_for_access()
+        exit_penalty = rank.wake_for_access()
         if exit_penalty > 0:
             request.powerdown_exit = True
-        start += exit_penalty
-        access = self._classify(request)
-        self._record_classification(request, access)
+            start += exit_penalty
+        open_row = self.open_row
+        row = request.location.row
+        if open_row is None:
+            access = AccessClass.CLOSED_BANK_MISS
+            self._counters.record_closed_bank_miss()
+        elif open_row == row:
+            access = AccessClass.ROW_HIT
+            request.row_hit = True
+            self._counters.record_row_hit()
+        else:
+            access = AccessClass.OPEN_ROW_MISS
+            request.open_row_miss = True
+            self._counters.record_open_row_miss()
 
-        if self._timing.needs_activate(access):
+        if access is not AccessClass.ROW_HIT:
             not_before = start
             if access is AccessClass.OPEN_ROW_MISS:
-                not_before += self._timing.precharge_ns()
+                not_before += self._t_rp_ns
             # per-bank tRC: a new activate must wait out the row cycle
-            not_before = max(not_before,
-                             self._last_act_ns + self._timing.row_cycle_ns())
-            act = self._rank.earliest_activate_ns(not_before)
-            self._rank.record_activate(act)
+            row_cycle_ok = self._last_act_ns + self._t_rc_ns
+            if row_cycle_ok > not_before:
+                not_before = row_cycle_ok
+            act = rank.earliest_activate_ns(not_before)
+            rank.record_activate(act)
             self._last_act_ns = act
             self._current_act_ns = act
             request.act_ns = act
-            data_ready = act + self._timing.timings.t_rcd_ns \
-                + self._timing.timings.t_cl_ns
+            data_ready = act + self._t_rcd_ns + self._t_cl_ns
         else:
             self._current_act_ns = self._last_act_ns
-            data_ready = start + self._timing.timings.t_cl_ns
+            data_ready = start + self._t_cl_ns
 
         # Decoupled-DIMM mode: slower devices behind a full-speed channel
         # add a fixed device-side transfer delay per access.
-        data_ready += self._controller.device_extra_latency_ns
+        data_ready += controller._device_extra_ns
 
         self.busy = True
         self._in_service = request
-        self.open_row = request.location.row
-        self._rank.notify_bank_activity()
+        if open_row is None:
+            rank._open_rows += 1
+        self.open_row = row
+        rank.notify_bank_activity()
         request.bank_start_ns = start
-        v = self._controller.validator
+        v = controller.validator
         if v is not None:
             v.on_service_start(self._channel.channel_id,
-                               self._rank.global_rank_index, self.bank_id,
+                               rank.global_rank_index, self.bank_id,
                                request, access, start, data_ready)
-        self._engine.schedule_at(data_ready, lambda: self._bank_done(request))
-
-    def _classify(self, request: MemRequest) -> AccessClass:
-        if self.open_row is None:
-            return AccessClass.CLOSED_BANK_MISS
-        if self.open_row == request.location.row:
-            return AccessClass.ROW_HIT
-        return AccessClass.OPEN_ROW_MISS
-
-    def _record_classification(self, request: MemRequest,
-                               access: AccessClass) -> None:
-        if access is AccessClass.ROW_HIT:
-            request.row_hit = True
-            self._counters.record_row_hit()
-        elif access is AccessClass.OPEN_ROW_MISS:
-            request.open_row_miss = True
-            self._counters.record_open_row_miss()
-        else:
-            self._counters.record_closed_bank_miss()
+        engine.post_at(data_ready, lambda: self._bank_done(request))
 
     def _bank_done(self, request: MemRequest) -> None:
         """Array access complete; hold the bank and wait for the bus."""
@@ -192,18 +213,19 @@ class Bank:
             self._free(burst_end)
         else:
             # tRAS: the row must stay open at least tRAS after its activate.
-            pre_start = max(burst_end, self._current_act_ns + self._timing.ras_ns())
-            free_at = pre_start + self._timing.precharge_ns()
+            pre_start = max(burst_end, self._current_act_ns + self._t_ras_ns)
+            free_at = pre_start + self._t_rp_ns
             self.open_row = None
+            self._rank._open_rows -= 1
             v = self._controller.validator
             if v is not None:
                 v.on_precharge(self._channel.channel_id,
                                self._rank.global_rank_index, self.bank_id,
                                pre_start, free_at)
-            self._engine.schedule_at(free_at, lambda: self._free(free_at))
+            self._engine.post_at(free_at, lambda: self._free(free_at))
 
     def _peek_next(self) -> Optional[MemRequest]:
-        if self._controller.writebacks_have_priority(self._channel.channel_id):
+        if self._controller._wb_priority[self._channel.channel_id]:
             if self.write_q:
                 return self.write_q[0]
             return self.read_q[0] if self.read_q else None
@@ -214,7 +236,9 @@ class Bank:
     def _free(self, _at_ns: float) -> None:
         self.busy = False
         self._in_service = None
-        if self.has_pending:
+        if self.read_q or self.write_q:
             self.kick()
         else:
+            # active -> idle transition (rank bookkeeping)
+            self._rank._active_banks -= 1
             self._rank.notify_all_banks_idle()

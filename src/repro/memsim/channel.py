@@ -4,6 +4,10 @@ The channel bus is a zero-queue-depth server (Figure 4): a request that
 finishes its bank access must hold its bank until the bus is free, then
 occupies the bus for one burst time (4 bus cycles at the current
 frequency). Waiting requests are served in bank-completion order.
+
+The per-burst duration is a plain cached attribute (``burst_ns``) that
+the controller refreshes on every global or per-channel re-lock, so the
+per-burst path never chases frequency-point properties.
 """
 
 from __future__ import annotations
@@ -23,12 +27,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 class Channel:
     """One DDR channel: the shared data bus and its wait list."""
 
+    __slots__ = ("_engine", "_counters", "_controller", "channel_id",
+                 "burst_ns", "_bus_busy", "_waiting")
+
     def __init__(self, engine: EventEngine, counters: CounterFile,
                  controller: "MemoryController", channel_id: int):
         self._engine = engine
         self._counters = counters
         self._controller = controller
         self.channel_id = channel_id
+        #: burst duration at this channel's current frequency; kept in
+        #: sync by MemoryController.set_frequency/set_channel_frequency
+        self.burst_ns = 0.0
         self._bus_busy = False
         self._waiting: Deque[Tuple[MemRequest, "Bank"]] = deque()
 
@@ -47,7 +57,7 @@ class Channel:
     def _start_burst(self, request: MemRequest, bank: "Bank") -> None:
         now = self._engine.now
         start = max(now, self._controller.channel_frozen_until_ns(self.channel_id))
-        burst_ns = self._controller.channel_freq(self.channel_id).burst_ns
+        burst_ns = self.burst_ns
         self._bus_busy = True
         request.bus_start_ns = start
         self._counters.record_access(self.channel_id, request.is_read, burst_ns)
@@ -55,7 +65,7 @@ class Channel:
         v = self._controller.validator
         if v is not None:
             v.on_burst(self.channel_id, request, start, end)
-        self._engine.schedule_at(end, lambda: self._end_burst(request, bank))
+        self._engine.post_at(end, lambda: self._end_burst(request, bank))
 
     def _end_burst(self, request: MemRequest, bank: "Bank") -> None:
         request.complete_ns = self._engine.now

@@ -73,6 +73,12 @@ class MemoryController:
         ]
         self.ranks: List[Rank] = []
         self._banks: Dict[tuple, Bank] = {}
+        #: flat bank array indexed ((channel * ranks_per_channel) + rank)
+        #: * banks_per_rank + bank — the per-request lookup on the submit
+        #: path, replacing a tuple-keyed dict probe
+        self._bank_list: List[Bank] = []
+        self._ranks_per_channel = org.ranks_per_channel
+        self._banks_per_rank = org.banks_per_rank
         for c in range(org.channels):
             for r in range(org.ranks_per_channel):
                 global_rank = c * org.ranks_per_channel + r
@@ -86,9 +92,16 @@ class MemoryController:
                     bank = Bank(engine, self._timing, self.counters, self,
                                 self.channels[c], rank, bank_id=b)
                     self._banks[(c, r, b)] = bank
+                    self._bank_list.append(bank)
                     banks.append(bank)
                 rank.attach_banks(banks)
                 self.ranks.append(rank)
+
+        # seed the channels' cached burst duration at the boot frequency
+        self._mc_latency_ns = self._freq.mc_latency_ns
+        burst = self._freq.burst_ns
+        for channel in self.channels:
+            channel.burst_ns = burst
 
         if config.validate_protocol:
             self.attach_validator(ProtocolValidator(config))
@@ -185,7 +198,7 @@ class MemoryController:
         self._in_flight += 1
         v = self.validator
         if v is not None:
-            v.on_submit(request, now, self._freq.mc_latency_ns)
+            v.on_submit(request, now, self._mc_latency_ns)
         if not request.is_read:
             ch = request.location.channel
             self._wb_pending[ch] += 1
@@ -197,8 +210,8 @@ class MemoryController:
         freeze_wait = self.frozen_until_ns - now
         if freeze_wait < 0.0:
             freeze_wait = 0.0
-        mc_delay = freeze_wait + self._freq.mc_latency_ns
-        self._engine.schedule(mc_delay, lambda: self._arrive_at_bank(request))
+        mc_delay = freeze_wait + self._mc_latency_ns
+        self._engine.post(mc_delay, lambda: self._arrive_at_bank(request))
 
     def submit_read(self, line_addr: int, core_id: int = 0, app_id: int = 0,
                     on_complete: Optional[Callable[[MemRequest], None]] = None
@@ -221,16 +234,19 @@ class MemoryController:
 
     def _arrive_at_bank(self, request: MemRequest) -> None:
         loc = request.location
-        bank = self._banks[(loc.channel, loc.rank, loc.bank)]
+        channel = loc.channel
+        bank = self._bank_list[
+            (channel * self._ranks_per_channel + loc.rank)
+            * self._banks_per_rank + loc.bank]
         request.arrive_bank_ns = self._engine.now
         v = self.validator
         if v is not None:
             v.on_arrive(request, self._engine.now)
         # Sample the transactions-outstanding accumulators (Section 3.1)
         # at arrival, before this request is added.
-        self.counters.record_bank_arrival(float(bank.outstanding))
-        self.counters.record_channel_arrival(
-            float(self.channels[loc.channel].bus_outstanding))
+        self.counters.record_request_arrival(
+            float(bank.outstanding),
+            float(self.channels[channel].bus_outstanding))
         bank.enqueue(request)
 
     def on_request_complete(self, request: MemRequest) -> None:
@@ -292,6 +308,11 @@ class MemoryController:
                                    self._engine.now + penalty)
         self._freq = point
         self._channel_freqs.clear()
+        # refresh the cached per-frequency durations (see Channel.burst_ns)
+        self._mc_latency_ns = point.mc_latency_ns
+        burst = point.burst_ns
+        for channel in self.channels:
+            channel.burst_ns = burst
         self.transition_count += 1
         v = self.validator
         if v is not None:
@@ -322,6 +343,7 @@ class MemoryController:
             self._channel_frozen_until_ns[channel_id],
             self._engine.now + penalty)
         self._channel_freqs[channel_id] = point
+        self.channels[channel_id].burst_ns = point.burst_ns
         self.transition_count += 1
         v = self.validator
         if v is not None:

@@ -168,7 +168,15 @@ _STATE_INDEX: Dict[RankPowerState, int] = {s: i for i, s in enumerate(_STATE_ORD
 
 
 class CounterFile:
-    """Mutable counter registers, updated by the simulator as events occur."""
+    """Mutable counter registers, updated by the simulator as events occur.
+
+    Hot-path storage is deliberately plain Python: scalar registers are
+    floats and the per-core / per-rank / per-channel registers are Python
+    lists, because a single-element numpy ``arr[i] += x`` costs roughly
+    an order of magnitude more than a list index. The numpy arrays the
+    models consume are materialized once per :meth:`snapshot` (a
+    per-epoch operation), not per event.
+    """
 
     def __init__(self, n_cores: int, n_channels: int, n_ranks: int):
         if n_cores <= 0 or n_channels <= 0 or n_ranks <= 0:
@@ -176,8 +184,8 @@ class CounterFile:
         self.n_cores = n_cores
         self.n_channels = n_channels
         self.n_ranks = n_ranks
-        self.tic = np.zeros(n_cores, dtype=np.float64)
-        self.tlm = np.zeros(n_cores, dtype=np.float64)
+        self.tic = [0.0] * n_cores
+        self.tlm = [0.0] * n_cores
         self.bto = 0.0
         self.btc = 0.0
         self.cto = 0.0
@@ -189,11 +197,12 @@ class CounterFile:
         self.pocc = 0.0
         self.reads = 0.0
         self.writes = 0.0
-        self.rank_state_ns = np.zeros((n_ranks, len(_STATE_ORDER)), dtype=np.float64)
-        self.refreshes = np.zeros(n_ranks, dtype=np.float64)
-        self.channel_busy_ns = np.zeros(n_channels, dtype=np.float64)
-        self.channel_reads = np.zeros(n_channels, dtype=np.float64)
-        self.channel_writes = np.zeros(n_channels, dtype=np.float64)
+        self.rank_state_ns = [[0.0] * len(_STATE_ORDER)
+                              for _ in range(n_ranks)]
+        self.refreshes = [0.0] * n_ranks
+        self.channel_busy_ns = [0.0] * n_channels
+        self.channel_reads = [0.0] * n_channels
+        self.channel_writes = [0.0] * n_channels
 
     # -- update hooks called by the simulator ----------------------------
 
@@ -202,6 +211,15 @@ class CounterFile:
 
     def record_llc_miss(self, core: int) -> None:
         self.tlm[core] += 1
+
+    def record_request_arrival(self, bank_ahead: float,
+                               channel_ahead: float) -> None:
+        """Batched form of the two arrival samples every request takes
+        (one bank, one channel) — a single call on the MC's hot path."""
+        self.bto += bank_ahead
+        self.btc += 1.0
+        self.cto += channel_ahead
+        self.ctc += 1.0
 
     def record_bank_arrival(self, outstanding_ahead: float) -> None:
         """A request arrived at a bank queue seeing ``outstanding_ahead`` work."""
@@ -241,7 +259,7 @@ class CounterFile:
                            duration_ns: float) -> None:
         if duration_ns < 0:
             raise ValueError(f"negative duration: {duration_ns}")
-        self.rank_state_ns[rank, _STATE_INDEX[state]] += duration_ns
+        self.rank_state_ns[rank][_STATE_INDEX[state]] += duration_ns
 
     def record_refresh(self, rank: int) -> None:
         self.refreshes[rank] += 1.0
@@ -249,17 +267,23 @@ class CounterFile:
     # -- snapshot / delta -------------------------------------------------
 
     def snapshot(self, time_ns: float) -> CounterSnapshot:
+        """Materialize the registers as immutable numpy arrays.
+
+        This is the list -> ndarray boundary: everything downstream
+        (power model, policies, validator) keeps seeing numpy.
+        """
         return CounterSnapshot(
             time_ns=time_ns,
-            tic=self.tic.copy(), tlm=self.tlm.copy(),
+            tic=np.array(self.tic, dtype=np.float64),
+            tlm=np.array(self.tlm, dtype=np.float64),
             bto=self.bto, btc=self.btc, cto=self.cto, ctc=self.ctc,
             rbhc=self.rbhc, obmc=self.obmc, cbmc=self.cbmc, epdc=self.epdc,
             pocc=self.pocc, reads=self.reads, writes=self.writes,
-            rank_state_ns=self.rank_state_ns.copy(),
-            refreshes=self.refreshes.copy(),
-            channel_busy_ns=self.channel_busy_ns.copy(),
-            channel_reads=self.channel_reads.copy(),
-            channel_writes=self.channel_writes.copy(),
+            rank_state_ns=np.array(self.rank_state_ns, dtype=np.float64),
+            refreshes=np.array(self.refreshes, dtype=np.float64),
+            channel_busy_ns=np.array(self.channel_busy_ns, dtype=np.float64),
+            channel_reads=np.array(self.channel_reads, dtype=np.float64),
+            channel_writes=np.array(self.channel_writes, dtype=np.float64),
         )
 
     @staticmethod

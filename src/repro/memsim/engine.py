@@ -8,18 +8,31 @@ deterministic — the property the parallel experiment runner relies on
 to make fan-out runs byte-identical to serial ones. Time is float
 nanoseconds.
 
-Cancellation is lazy: :meth:`Event.cancel` only marks the event, and
-the queue discards cancelled entries when they reach the head
-(:meth:`EventEngine._drop_cancelled`). Every public query/advance
-method drops cancelled head events first, so a cancelled head with an
-otherwise-empty queue behaves exactly like an empty queue — the case
-``tests/test_engine.py::TestCancelledHead`` pins down.
+Hot-path design
+---------------
+The heap stores plain ``[time, seq, callback]`` lists, so ``heapq``
+orders entries with C-level list comparison: ``seq`` is unique, which
+means comparisons never reach the callback element and no Python
+``__lt__`` is ever invoked. Two scheduling interfaces share the heap:
+
+* :meth:`schedule` / :meth:`schedule_at` return an :class:`Event`
+  handle supporting :meth:`Event.cancel`;
+* :meth:`post` / :meth:`post_at` allocate *no* handle at all — the
+  per-event cost is one list and one heap push. The simulator's
+  internal call sites (bank service completions, bus bursts, MC
+  arrivals, core issue timers) never cancel, so they all use this path.
+
+Cancellation is a tombstone: :meth:`Event.cancel` clears the entry's
+callback slot in place (a decrease-key-free lazy deletion), and every
+queue consumer skips dead entries as they surface at the head — so a
+cancelled head with an otherwise-empty queue behaves exactly like an
+empty queue, the case ``tests/test_engine.py::TestCancelledHead`` pins
+down.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
 
@@ -28,31 +41,46 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    Wraps the engine's internal ``[time, seq, callback]`` heap entry;
+    cancelling tombstones the entry in place (index 2 becomes None), so
+    the heap never needs a scan or re-sift.
+    """
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.cancelled = False
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Absolute fire time in nanoseconds."""
+        return self._entry[0]
+
+    @property
+    def seq(self) -> int:
+        """Insertion sequence number (the time tiebreaker)."""
+        return self._entry[1]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[2] is None
 
     def cancel(self) -> None:
         """Prevent the callback from running. Safe to call repeatedly."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        self._entry[2] = None
 
 
 class EventEngine:
     """A deterministic discrete-event scheduler over float-ns time."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_events_processed")
+
     def __init__(self, start_time_ns: float = 0.0):
         self._now = start_time_ns
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._queue: list = []
+        self._seq = 0
         self._events_processed = 0
 
     @property
@@ -67,9 +95,29 @@ class EventEngine:
 
     @property
     def pending(self) -> int:
-        """Number of queued *live* events; cancelled entries still
-        sitting in the heap (lazy deletion) are not counted."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued *live* events; tombstoned (cancelled) entries
+        still sitting in the heap are not counted."""
+        return sum(1 for e in self._queue if e[2] is not None)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def post_at(self, time_ns: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at ``time_ns`` with no cancel handle.
+
+        The allocation-free hot path: one heap entry, no :class:`Event`.
+        """
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns: current time is {self._now} ns"
+            )
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, [time_ns, seq, callback])
+
+    def post(self, delay_ns: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay_ns`` ns, handle-free."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        self.post_at(self._now + delay_ns, callback)
 
     def schedule_at(self, time_ns: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute time ``time_ns``."""
@@ -77,9 +125,10 @@ class EventEngine:
             raise SimulationError(
                 f"cannot schedule at {time_ns} ns: current time is {self._now} ns"
             )
-        event = Event(time_ns, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
-        return event
+        self._seq = seq = self._seq + 1
+        entry = [time_ns, seq, callback]
+        heappush(self._queue, entry)
+        return Event(entry)
 
     def schedule(self, delay_ns: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` after ``delay_ns`` nanoseconds."""
@@ -87,23 +136,32 @@ class EventEngine:
             raise SimulationError(f"negative delay: {delay_ns}")
         return self.schedule_at(self._now + delay_ns, callback)
 
+    # -- execution -----------------------------------------------------------
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is drained."""
-        self._drop_cancelled()
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[2] is not None:
+                return head[0]
+            heappop(queue)
+        return None
 
     def step(self) -> bool:
         """Run the next live event. Returns False when no live events
         remain (cancelled-only queues count as empty); the clock is not
         advanced in that case."""
-        self._drop_cancelled()
-        if not self._queue:
-            return False
-        event = heapq.heappop(self._queue)
-        self._now = event.time
-        self._events_processed += 1
-        event.callback()
-        return True
+        queue = self._queue
+        while queue:
+            time_ns, _, callback = heappop(queue)
+            if callback is None:
+                continue
+            self._now = time_ns
+            self._events_processed += 1
+            callback()
+            return True
+        return False
 
     def run_until(self, time_ns: float) -> None:
         """Run all events scheduled strictly up to and at ``time_ns``.
@@ -115,12 +173,55 @@ class EventEngine:
             raise SimulationError(
                 f"cannot run backwards to {time_ns} ns from {self._now} ns"
             )
-        while True:
-            self._drop_cancelled()
-            if not self._queue or self._queue[0].time > time_ns:
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            callback = head[2]
+            if callback is None:
+                heappop(queue)
+                continue
+            if head[0] > time_ns:
                 break
-            self.step()
+            heappop(queue)
+            self._now = head[0]
+            self._events_processed += 1
+            callback()
         self._now = time_ns
+
+    def run_until_stopped(self, time_ns: float,
+                          should_stop: Callable[[], bool]) -> bool:
+        """Like :meth:`run_until`, but evaluate ``should_stop()`` after
+        every event and return True the moment it holds — leaving the
+        clock at that event's time. Returns ``should_stop()``'s value
+        after advancing the clock to ``time_ns`` otherwise.
+
+        This is the simulation main loop fused into the engine: one
+        Python loop per event instead of the peek/step/check triple the
+        system layer would otherwise pay.
+        """
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot run backwards to {time_ns} ns from {self._now} ns"
+            )
+        if should_stop():
+            return True
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            callback = head[2]
+            if callback is None:
+                heappop(queue)
+                continue
+            if head[0] > time_ns:
+                break
+            heappop(queue)
+            self._now = head[0]
+            self._events_processed += 1
+            callback()
+            if should_stop():
+                return True
+        self._now = time_ns
+        return should_stop()
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the queue drains (or ``max_events`` is reached)."""
@@ -130,16 +231,3 @@ class EventEngine:
                 remaining -= 1
                 if remaining <= 0:
                     return
-
-    def _drop_cancelled(self) -> None:
-        """Discard cancelled events at the heap head (lazy deletion).
-
-        Must run before any head inspection (:meth:`peek_time`,
-        :meth:`step`, :meth:`run_until`'s loop condition): a cancelled
-        head would otherwise make the queue look non-empty — or
-        ``peek_time`` report the time of an event that will never fire —
-        including the edge case where the cancelled head is the *only*
-        entry and the queue is logically empty.
-        """
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)

@@ -5,12 +5,19 @@ per-rank, so powerdown requires *every* bank of the rank to be idle — the
 very property that makes idle low-power states hard to exploit and
 motivates MemScale. The rank also enforces the cross-bank activation
 constraints tRRD and tFAW and periodically refreshes itself.
+
+Hot-path notes: instead of scanning every bank (``any(bank.busy or
+bank.has_pending ...)``) on each idle/refresh decision, the rank keeps
+``_active_banks`` and ``_open_rows`` counters that its banks maintain at
+the exact transition points (a bank becomes active when a request lands
+in an empty idle bank; inactive when it frees with nothing queued). The
+fixed-in-ns timing constants are cached as plain floats at construction.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Deque, List
 
 from repro.memsim.counters import CounterFile
 from repro.memsim.engine import EventEngine
@@ -20,6 +27,14 @@ from repro.memsim.timing import TimingCalculator
 
 class Rank:
     """One rank of DRAM chips plus its power/refresh state machine."""
+
+    __slots__ = (
+        "_engine", "_timing", "_counters", "global_rank_index", "n_banks",
+        "powerdown_mode", "_banks", "validator", "_state", "_state_since",
+        "_recent_activates", "refresh_busy_until", "_refresh_due",
+        "_refresh_enabled", "_t_rrd_ns", "_t_faw_ns", "_t_refi_ns",
+        "_t_rfc_ns", "_active_banks", "_open_rows",
+    )
 
     def __init__(self, engine: EventEngine, timing: TimingCalculator,
                  counters: CounterFile, global_rank_index: int,
@@ -39,6 +54,15 @@ class Rank:
         self._state_since = engine.now
         # activation window: times of the most recent activates (for tFAW)
         self._recent_activates: Deque[float] = deque(maxlen=4)
+        # fixed-in-ns constants, cached out of the per-command path
+        table = timing.table
+        self._t_rrd_ns = table.t_rrd_ns
+        self._t_faw_ns = table.t_faw_ns
+        self._t_refi_ns = table.t_refi_ns
+        self._t_rfc_ns = table.t_rfc_ns
+        # bank-activity counters maintained by the banks (see module docstring)
+        self._active_banks = 0
+        self._open_rows = 0
         # refresh machinery
         self.refresh_busy_until = -1.0
         self._refresh_due = False
@@ -47,8 +71,8 @@ class Rank:
             # Stagger the first refresh across ranks to avoid lock-step.
             # The offset pulls the first tick *earlier* so that every
             # rank's first refresh lands within one tREFI of time zero.
-            offset = (global_rank_index % 16) / 16.0 * timing.refresh_interval_ns()
-            engine.schedule(timing.refresh_interval_ns() - offset, self._refresh_timer)
+            offset = (global_rank_index % 16) / 16.0 * self._t_refi_ns
+            engine.post(self._t_refi_ns - offset, self._refresh_timer)
 
     # -- wiring -----------------------------------------------------------
 
@@ -81,7 +105,7 @@ class Rank:
         v = self.validator
         if v is not None:
             v.on_rank_state(self.global_rank_index, self._state, new_state,
-                            self._engine.now, self._any_bank_busy())
+                            self._engine.now, self._active_banks > 0)
         self.sync_accounting()
         self._state = new_state
 
@@ -91,14 +115,14 @@ class Rank:
 
     def notify_all_banks_idle(self) -> None:
         """All banks precharged & queues empty — maybe enter powerdown."""
-        if self._any_bank_busy():
+        if self._active_banks > 0:
             return
         if self.powerdown_mode is PowerdownMode.NONE:
             self._transition(RankPowerState.PRECHARGE_STANDBY)
         else:
             # Aggressive MC: immediate transition to precharge powerdown
             # when the last bank of the rank closes (Section 4.2.3).
-            if self._all_rows_closed():
+            if self._open_rows == 0:
                 self._transition(RankPowerState.PRECHARGE_POWERDOWN)
             else:
                 self._transition(RankPowerState.ACTIVE_STANDBY)
@@ -125,10 +149,15 @@ class Rank:
     def earliest_activate_ns(self, not_before_ns: float) -> float:
         """Earliest time a new activate may issue to this rank."""
         t = not_before_ns
-        if self._recent_activates:
-            t = max(t, self._recent_activates[-1] + self._timing.min_activate_gap_ns())
-        if len(self._recent_activates) == 4:
-            t = max(t, self._recent_activates[0] + self._timing.four_activate_window_ns())
+        recent = self._recent_activates
+        if recent:
+            gap_ok = recent[-1] + self._t_rrd_ns
+            if gap_ok > t:
+                t = gap_ok
+            if len(recent) == 4:
+                faw_ok = recent[0] + self._t_faw_ns
+                if faw_ok > t:
+                    t = faw_ok
         if self.refresh_busy_until > t:
             t = self.refresh_busy_until
         return t
@@ -144,12 +173,12 @@ class Rank:
         v = self.validator
         if v is not None:
             v.on_refresh_due(self.global_rank_index, self._engine.now)
-        self._engine.schedule(self._timing.refresh_interval_ns(), self._refresh_timer)
+        self._engine.post(self._t_refi_ns, self._refresh_timer)
         self._maybe_start_refresh()
 
     def _maybe_start_refresh(self) -> None:
         """Issue the pending refresh as soon as every bank is quiescent."""
-        if not self._refresh_due or self._any_bank_busy():
+        if not self._refresh_due or self._active_banks > 0:
             return
         now = self._engine.now
         if self.refresh_busy_until > now:
@@ -159,13 +188,13 @@ class Rank:
         was_powered_down = self.cke_low
         if was_powered_down:
             self._transition(RankPowerState.PRECHARGE_STANDBY)
-        self.refresh_busy_until = now + self._timing.refresh_ns()
+        self.refresh_busy_until = now + self._t_rfc_ns
         self._counters.record_refresh(self.global_rank_index)
         v = self.validator
         if v is not None:
             v.on_refresh_issue(self.global_rank_index, now,
                                self.refresh_busy_until, was_powered_down)
-        self._engine.schedule_at(self.refresh_busy_until, self._refresh_done)
+        self._engine.post_at(self.refresh_busy_until, self._refresh_done)
 
     def _refresh_done(self) -> None:
         for bank in self._banks:
@@ -175,7 +204,12 @@ class Rank:
     # -- helpers -------------------------------------------------------------
 
     def _any_bank_busy(self) -> bool:
-        return any(bank.busy or bank.has_pending for bank in self._banks)
+        """Some bank of this rank is serving or has work queued.
+
+        Kept as a method for tests/validator readability; backed by the
+        counter the banks maintain rather than a per-call scan.
+        """
+        return self._active_banks > 0
 
     def _all_rows_closed(self) -> bool:
-        return all(bank.open_row is None for bank in self._banks)
+        return self._open_rows == 0

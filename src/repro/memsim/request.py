@@ -28,7 +28,7 @@ class MemRequest:
     """
 
     __slots__ = (
-        "request_id", "kind", "core_id", "app_id", "location",
+        "request_id", "kind", "is_read", "core_id", "app_id", "location",
         "issue_ns", "arrive_mc_ns", "arrive_bank_ns", "bank_start_ns",
         "act_ns", "bank_done_ns", "bus_start_ns", "complete_ns",
         "on_complete", "row_hit", "open_row_miss", "powerdown_exit",
@@ -39,6 +39,9 @@ class MemRequest:
                  on_complete: Optional[Callable[["MemRequest"], None]] = None):
         self.request_id = next(_request_ids)
         self.kind = kind
+        #: plain attribute (not a property): read on every scheduling
+        #: decision, so the enum comparison is paid once at construction
+        self.is_read = kind is RequestKind.READ
         self.core_id = core_id
         self.app_id = app_id
         self.location = location
@@ -54,10 +57,6 @@ class MemRequest:
         self.row_hit = False
         self.open_row_miss = False
         self.powerdown_exit = False
-
-    @property
-    def is_read(self) -> bool:
-        return self.kind is RequestKind.READ
 
     @property
     def total_latency_ns(self) -> float:

@@ -13,10 +13,47 @@ Separates the two classes of latency Section 2.2 identifies:
 from __future__ import annotations
 
 import enum
+from typing import Dict, NamedTuple
 
 from repro.config import DramTimings
 from repro.core.frequency import FrequencyPoint
 from repro.memsim.states import PowerdownMode
+
+
+class TimingTable(NamedTuple):
+    """Flat, precomputed array-timing constants in nanoseconds.
+
+    Banks and ranks read these once at construction instead of calling
+    back into :class:`TimingCalculator` (a method call plus attribute
+    chase) on every command — the fixed-in-ns timings never change over
+    a run, so the per-command hot path only touches plain floats.
+    """
+
+    t_cl_ns: float
+    t_rcd_ns: float
+    t_rp_ns: float
+    t_ras_ns: float
+    t_rc_ns: float
+    t_rrd_ns: float
+    t_faw_ns: float
+    t_refi_ns: float
+    t_rfc_ns: float
+    t_xp_ns: float
+    t_xpdll_ns: float
+
+
+class FrequencyTimings(NamedTuple):
+    """Cycle-denominated operation durations at one frequency point.
+
+    Burst and MC-processing times are fixed in bus/MC cycles, so their
+    wall-clock value changes on every re-lock; this table is computed
+    once per :class:`~repro.core.frequency.FrequencyPoint` and cached,
+    so no per-request property arithmetic remains on the hot path.
+    """
+
+    bus_mhz: float
+    burst_ns: float
+    mc_latency_ns: float
 
 
 class AccessClass(enum.Enum):
@@ -36,10 +73,46 @@ class TimingCalculator:
 
     def __init__(self, timings: DramTimings):
         self._t = timings
+        self._table = TimingTable(
+            t_cl_ns=timings.t_cl_ns,
+            t_rcd_ns=timings.t_rcd_ns,
+            t_rp_ns=timings.t_rp_ns,
+            t_ras_ns=timings.t_ras_ns,
+            t_rc_ns=timings.t_rc_ns,
+            t_rrd_ns=timings.t_rrd_ns,
+            t_faw_ns=timings.t_faw_ns,
+            t_refi_ns=timings.t_refi_ns,
+            t_rfc_ns=timings.t_rfc_ns,
+            t_xp_ns=timings.t_xp_ns,
+            t_xpdll_ns=timings.t_xpdll_ns,
+        )
+        self._freq_tables: Dict[float, FrequencyTimings] = {}
 
     @property
     def timings(self) -> DramTimings:
         return self._t
+
+    @property
+    def table(self) -> TimingTable:
+        """Precomputed array-timing constants (see :class:`TimingTable`)."""
+        return self._table
+
+    def for_frequency(self, freq: FrequencyPoint) -> FrequencyTimings:
+        """The cached cycle-derived durations at ``freq``.
+
+        Memoized per bus frequency, so repeated re-locks to the same
+        ladder point reuse one table; values are identical to the
+        :class:`~repro.core.frequency.FrequencyPoint` properties they
+        are computed from.
+        """
+        try:
+            return self._freq_tables[freq.bus_mhz]
+        except KeyError:
+            table = FrequencyTimings(bus_mhz=freq.bus_mhz,
+                                     burst_ns=freq.burst_ns,
+                                     mc_latency_ns=freq.mc_latency_ns)
+            self._freq_tables[freq.bus_mhz] = table
+            return table
 
     def classify_latency_ns(self, access: AccessClass) -> float:
         """Command-to-data latency of the array portion of an access."""

@@ -54,6 +54,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.config import SystemConfig
 from repro.memsim.states import RankPowerState
 from repro.memsim.timing import AccessClass
@@ -171,7 +173,8 @@ class ProtocolValidator:
         self._base_epdc = controller.counters.epdc
         self._bind_time_ns = controller.engine.now
         controller.sync_accounting()
-        self._base_rank_state = controller.counters.rank_state_ns.copy()
+        self._base_rank_state = np.array(controller.counters.rank_state_ns,
+                                         dtype=np.float64)
         self._global_freq = controller.freq
 
     # -- violation plumbing -------------------------------------------------
@@ -628,7 +631,7 @@ class ProtocolValidator:
         controller.sync_accounting()
         elapsed = now - self._bind_time_ns
         tolerance = 1e-6 + 1e-9 * max(elapsed, 1.0)
-        totals = (controller.counters.rank_state_ns
+        totals = (np.array(controller.counters.rank_state_ns, dtype=np.float64)
                   - self._base_rank_state).sum(axis=1)
         for rank_index, total in enumerate(totals):
             self._check(

@@ -1,0 +1,234 @@
+"""Simulator-throughput benchmark and regression gate.
+
+Measures how fast the discrete-event simulator itself runs — events per
+second of host wall-clock time — on pinned workloads, and fails when
+throughput regresses against the committed baseline in
+``BENCH_perf.json``. This guards the hot-path optimizations (engine,
+controller, bank/rank/channel, counters, core model) the same way the
+golden-result snapshot guards their correctness.
+
+Methodology
+-----------
+Each scenario runs a fixed (mix, cores, instructions, seed) workload
+under a fixed policy list. Per repeat, governors are constructed
+*untimed* (MemScale's calibration baseline run is excluded), then each
+``SystemSimulator.run()`` is timed and the engine's processed-event
+count summed; the repeat's throughput is total events / total timed
+wall. The best of ``repeats`` repeats is kept, which rejects scheduler
+noise on a loaded host. Results are appended to ``BENCH_perf.json``
+along with the git SHA and a machine fingerprint; the regression gate
+only fires when the fingerprint matches the baseline's, so numbers
+recorded on one machine never fail the gate on a different one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+from repro.sim.system import SystemSimulator
+
+#: Default location of the committed benchmark/baseline file.
+DEFAULT_OUTPUT = "BENCH_perf.json"
+
+#: Throughput may drop at most this fraction below the baseline.
+DEFAULT_MAX_REGRESSION = 0.10
+
+#: Best-of-N repeats per scenario. Generous because the scenarios are
+#: short and the gate compares wall-clock numbers on a possibly noisy
+#: host: more repeats tighten the best-of estimate for ~seconds of cost.
+DEFAULT_REPEATS = 10
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned throughput workload."""
+
+    name: str
+    mix: str
+    cores: int
+    instructions_per_core: int
+    policies: Tuple[str, ...]
+    seed: int = 2011
+
+
+#: The benchmark suite. ``smoke`` is the CI-sized MID1 path (the same
+#: shape as ``repro bench --smoke``); ``mid1`` is a larger replay that
+#: keeps the event loop busy long enough to be setup-insensitive.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(name="smoke", mix="MID1", cores=4, instructions_per_core=8_000,
+             policies=("Baseline", "MemScale", "Static")),
+    Scenario(name="mid1", mix="MID1", cores=16, instructions_per_core=60_000,
+             policies=("Baseline", "MemScale")),
+)
+
+
+class PerfRegressionError(RuntimeError):
+    """Raised when measured throughput falls below the gated floor."""
+
+
+def git_sha() -> str:
+    """Current commit SHA, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Host identity attached to every record; gates only compare equal
+    fingerprints, so cross-machine numbers never trip the gate."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_scenario(scenario: Scenario,
+                 repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
+    """Measure one scenario; returns events, timed wall seconds, and
+    events/sec for the best repeat."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    settings = RunnerSettings(cores=scenario.cores,
+                              instructions_per_core=scenario.instructions_per_core,
+                              seed=scenario.seed)
+    runner = ExperimentRunner(settings=settings)
+    trace = runner.trace(scenario.mix)  # untimed: trace generation
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeats):
+        total_events = 0
+        total_wall = 0.0
+        for policy in scenario.policies:
+            # untimed: governor construction (includes MemScale's
+            # calibration baseline run)
+            governor = runner.make_named_governor(scenario.mix, policy)
+            sim = SystemSimulator(runner.config, trace, governor)
+            start = time.perf_counter()
+            sim.run()
+            total_wall += time.perf_counter() - start
+            total_events += sim.engine.events_processed
+        eps = total_events / total_wall
+        if best is None or eps > best["events_per_sec"]:
+            best = {"events": total_events, "wall_s": total_wall,
+                    "events_per_sec": eps}
+    assert best is not None
+    return best
+
+
+def _check_gate(latest: Dict[str, Dict[str, float]],
+                baseline: Dict[str, Dict[str, float]],
+                baseline_machine: Optional[Dict[str, object]],
+                max_regression: float) -> List[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    if baseline_machine is not None and baseline_machine != machine_fingerprint():
+        return []  # different host: numbers are not comparable
+    failures = []
+    for name, base in baseline.items():
+        if name not in latest:
+            continue
+        floor = base["events_per_sec"] * (1.0 - max_regression)
+        got = latest[name]["events_per_sec"]
+        if got < floor:
+            failures.append(
+                f"scenario {name!r}: {got:.0f} events/sec is below the "
+                f"gated floor {floor:.0f} (baseline "
+                f"{base['events_per_sec']:.0f}, max regression "
+                f"{max_regression:.0%})")
+    return failures
+
+
+def run_perfbench(output: str = DEFAULT_OUTPUT,
+                  repeats: int = DEFAULT_REPEATS,
+                  scenarios: Optional[Sequence[str]] = None,
+                  update_baseline: bool = False,
+                  max_regression: float = DEFAULT_MAX_REGRESSION,
+                  quiet: bool = False) -> Dict[str, object]:
+    """Run the suite, gate against the committed baseline, update ``output``.
+
+    Raises :class:`PerfRegressionError` when any scenario's throughput is
+    more than ``max_regression`` below the baseline recorded on the same
+    machine. ``update_baseline`` re-seeds the baseline (and its machine
+    fingerprint) from this run's numbers.
+    """
+    selected = [s for s in SCENARIOS
+                if scenarios is None or s.name in scenarios]
+    if scenarios is not None:
+        unknown = set(scenarios) - {s.name for s in SCENARIOS}
+        if unknown:
+            raise ValueError(f"unknown scenarios: {sorted(unknown)}; "
+                             f"choose from {[s.name for s in SCENARIOS]}")
+
+    path = Path(output)
+    previous: Dict[str, object] = {}
+    if path.exists():
+        previous = json.loads(path.read_text())
+
+    latest: Dict[str, Dict[str, float]] = {}
+    for scenario in selected:
+        if not quiet:
+            print(f"perfbench: {scenario.name} "
+                  f"({scenario.mix}, {scenario.cores} cores, "
+                  f"{scenario.instructions_per_core} instr/core, "
+                  f"best of {repeats})... ", end="", flush=True)
+        latest[scenario.name] = run_scenario(scenario, repeats=repeats)
+        if not quiet:
+            print(f"{latest[scenario.name]['events_per_sec']:.0f} events/sec")
+
+    baseline = previous.get("baseline") or {}
+    baseline_machine = previous.get("baseline_machine")
+    if update_baseline or not baseline:
+        baseline = {**baseline, **latest}
+        baseline_machine = machine_fingerprint()
+
+    # Frozen history: the matched-window measurement taken when the
+    # hot-path rewrite landed (pre_pr = old code, post_rewrite = new
+    # code, interleaved on one host). Preserved verbatim across runs;
+    # 'latest' is the volatile counterpart.
+    pre_pr = previous.get("pre_pr") or {}
+    post_rewrite = previous.get("post_rewrite") or {}
+    speedup = {
+        name: latest[name]["events_per_sec"] / pre_pr[name]["events_per_sec"]
+        for name in latest if name in pre_pr
+        and pre_pr[name].get("events_per_sec")
+    }
+
+    record: Dict[str, object] = {
+        "schema": 1,
+        "description": "simulator throughput benchmark (see "
+                       "src/repro/sim/perfbench.py); 'pre_pr' and "
+                       "'post_rewrite' pin the hot-path rewrite's "
+                       "matched-window reference numbers",
+        "git_sha": git_sha(),
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": machine_fingerprint(),
+        "repeats": repeats,
+        "pre_pr": pre_pr,
+        "post_rewrite": post_rewrite,
+        "baseline": baseline,
+        "baseline_machine": baseline_machine,
+        "latest": latest,
+        "speedup_vs_pre_pr": speedup,
+    }
+    path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+
+    failures = _check_gate(latest, baseline, baseline_machine, max_regression)
+    if not quiet:
+        for name, ratio in sorted(speedup.items()):
+            print(f"perfbench: {name} speedup vs pre-PR baseline: {ratio:.2f}x")
+        print(f"perfbench: wrote {path}")
+    if failures:
+        raise PerfRegressionError("; ".join(failures))
+    return record

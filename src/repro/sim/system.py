@@ -185,19 +185,16 @@ class SystemSimulator:
 
     def _run_until_or_done(self, time_ns: float) -> bool:
         """Advance to ``time_ns``, stopping early the moment every core
-        reaches its instruction target. Returns True when all reached."""
-        engine = self.engine
-        n = len(self.cluster.cores)
-        if self.cluster.reached_count >= n:
-            return True
-        while True:
-            next_time = engine.peek_time()
-            if next_time is None or next_time > time_ns:
-                engine.run_until(time_ns)
-                return self.cluster.reached_count >= n
-            engine.step()
-            if self.cluster.reached_count >= n:
-                return True
+        reaches its instruction target. Returns True when all reached.
+
+        Delegates to the engine's fused loop so the per-event cost is a
+        single heap pop plus one stop-predicate call, instead of the
+        peek/step/check round-trip through three method boundaries.
+        """
+        cluster = self.cluster
+        n = len(cluster.cores)
+        return self.engine.run_until_stopped(
+            time_ns, lambda: cluster.reached_count >= n)
 
     def _account(self, energy_j: Dict[str, float], delta, freq,
                  device_mhz: Optional[float],

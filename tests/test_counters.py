@@ -67,7 +67,7 @@ class TestUpdateHooks:
     def test_rank_state_accounting(self, counters):
         counters.account_rank_state(1, RankPowerState.ACTIVE_STANDBY, 30.0)
         counters.account_rank_state(1, RankPowerState.PRECHARGE_POWERDOWN, 70.0)
-        assert counters.rank_state_ns[1].sum() == 100.0
+        assert sum(counters.rank_state_ns[1]) == 100.0
 
     def test_negative_duration_rejected(self, counters):
         with pytest.raises(ValueError):

@@ -148,6 +148,31 @@ class TestRunSweep:
             assert a.comparison.system_energy_savings \
                 == b.comparison.system_energy_savings
 
+    def test_four_workers_match_serial_byte_identically(self, tmp_path):
+        # Worker count must never leak into results: fan-out only
+        # changes scheduling, the per-run simulation is sequential.
+        mixes, policies = ["MID1"], ["MemScale", "Static"]
+        serial = run_sweep(mixes, policies, settings=SETTINGS, jobs=1,
+                           cache_dir=None)
+        wide = run_sweep(mixes, policies, settings=SETTINGS, jobs=4,
+                         cache_dir=tmp_path / "c")
+        for a, b in zip(serial, wide):
+            assert (a.mix, a.policy) == (b.mix, b.policy)
+            assert result_bytes(a.result) == result_bytes(b.result)
+
+    def test_validator_does_not_perturb_results(self, tmp_path):
+        # The DDR3 protocol validator is an observer: arming it must not
+        # change a single bit of the simulation outcome.
+        plain = run_sweep(["MID1"], ["MemScale"], settings=SETTINGS,
+                          jobs=1, cache_dir=None)
+        armed = run_sweep(["MID1"], ["MemScale"],
+                          config=scaled_config().replace(
+                              validate_protocol=True),
+                          settings=SETTINGS, jobs=1, cache_dir=None)
+        assert result_bytes(plain[0].result) == result_bytes(armed[0].result)
+        assert plain[0].comparison.system_energy_savings \
+            == armed[0].comparison.system_energy_savings
+
     def test_rerun_with_warm_cache_is_identical(self, tmp_path):
         cold = run_sweep(["MID1"], ["MemScale"], settings=SETTINGS,
                          jobs=2, cache_dir=tmp_path / "c")

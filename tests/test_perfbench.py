@@ -1,0 +1,130 @@
+"""Tests for the throughput benchmark harness (sim/perfbench.py):
+record schema, baseline seeding, the regression gate, and the
+machine-fingerprint skip."""
+
+import json
+
+import pytest
+
+from repro.sim import perfbench
+from repro.sim.perfbench import (
+    PerfRegressionError,
+    SCENARIOS,
+    machine_fingerprint,
+    run_perfbench,
+    run_scenario,
+)
+
+SMOKE = ["smoke"]
+
+
+def test_scenarios_are_pinned():
+    # The gate is only meaningful against a fixed workload: scenario
+    # names, mixes, and seeds are part of the benchmark's contract.
+    by_name = {s.name: s for s in SCENARIOS}
+    assert set(by_name) == {"smoke", "mid1"}
+    assert all(s.mix == "MID1" and s.seed == 2011 for s in SCENARIOS)
+    assert by_name["smoke"].policies == ("Baseline", "MemScale", "Static")
+
+
+def test_run_scenario_counts_events():
+    smoke = next(s for s in SCENARIOS if s.name == "smoke")
+    best = run_scenario(smoke, repeats=1)
+    assert best["events"] > 0
+    assert best["wall_s"] > 0
+    assert best["events_per_sec"] == best["events"] / best["wall_s"]
+
+
+def test_run_scenario_rejects_bad_repeats():
+    with pytest.raises(ValueError, match="repeats"):
+        run_scenario(SCENARIOS[0], repeats=0)
+
+
+def test_unknown_scenario_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown scenarios"):
+        run_perfbench(output=str(tmp_path / "b.json"),
+                      scenarios=["nope"], quiet=True)
+
+
+def test_first_run_seeds_baseline_and_schema(tmp_path):
+    out = tmp_path / "b.json"
+    record = run_perfbench(output=str(out), repeats=1, scenarios=SMOKE,
+                           quiet=True)
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == 1
+    assert on_disk["baseline"]["smoke"] == on_disk["latest"]["smoke"]
+    assert on_disk["baseline_machine"] == machine_fingerprint()
+    assert set(on_disk["machine"]) == {"platform", "machine", "python",
+                                       "cpu_count"}
+    assert record["latest"]["smoke"]["events"] > 0
+
+
+def test_gate_trips_on_regression(tmp_path):
+    out = tmp_path / "b.json"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
+    data = json.loads(out.read_text())
+    # Pretend the recorded baseline was enormously faster.
+    data["baseline"]["smoke"]["events_per_sec"] *= 1000.0
+    out.write_text(json.dumps(data))
+    with pytest.raises(PerfRegressionError, match="smoke"):
+        run_perfbench(output=str(out), repeats=1, scenarios=SMOKE,
+                      quiet=True)
+    # The failing run still records its numbers for post-mortems.
+    assert json.loads(out.read_text())["latest"]["smoke"]["events"] > 0
+
+
+def test_gate_skipped_on_other_machine(tmp_path):
+    out = tmp_path / "b.json"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
+    data = json.loads(out.read_text())
+    data["baseline"]["smoke"]["events_per_sec"] *= 1000.0
+    data["baseline_machine"] = {"platform": "someone-elses-laptop"}
+    out.write_text(json.dumps(data))
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
+
+
+def test_update_baseline_reseeds(tmp_path):
+    out = tmp_path / "b.json"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
+    data = json.loads(out.read_text())
+    data["baseline"]["smoke"]["events_per_sec"] *= 1000.0
+    out.write_text(json.dumps(data))
+    record = run_perfbench(output=str(out), repeats=1, scenarios=SMOKE,
+                           update_baseline=True, quiet=True)
+    assert record["baseline"]["smoke"] == record["latest"]["smoke"]
+
+
+def test_speedup_reported_against_pre_pr(tmp_path):
+    out = tmp_path / "b.json"
+    out.write_text(json.dumps(
+        {"pre_pr": {"smoke": {"events": 1, "wall_s": 1.0,
+                              "events_per_sec": 1.0}}}))
+    record = run_perfbench(output=str(out), repeats=1, scenarios=SMOKE,
+                           quiet=True)
+    assert record["speedup_vs_pre_pr"]["smoke"] == \
+        record["latest"]["smoke"]["events_per_sec"]
+    # pre_pr numbers are frozen: they survive the rewrite untouched.
+    assert record["pre_pr"]["smoke"]["events_per_sec"] == 1.0
+
+
+def test_committed_bench_file_is_consistent():
+    # The repo's own BENCH_perf.json must stay parseable and claim the
+    # rewrite's target: >= 2x events/sec on both pinned scenarios, per
+    # the frozen matched-window pair (pre_pr vs post_rewrite — 'latest'
+    # is volatile and legitimately dips with host load).
+    from pathlib import Path
+    path = Path(__file__).parent.parent / "BENCH_perf.json"
+    data = json.loads(path.read_text())
+    for name in ("smoke", "mid1"):
+        pre = data["pre_pr"][name]["events_per_sec"]
+        post = data["post_rewrite"][name]["events_per_sec"]
+        assert pre > 0
+        assert post / pre >= 2.0
+        assert data["baseline"][name]["events_per_sec"] > 0
+        assert data["latest"][name]["events_per_sec"] > 0
+
+
+def test_git_sha_shape():
+    sha = perfbench.git_sha()
+    assert sha == "unknown" or (len(sha) == 40
+                                and all(c in "0123456789abcdef" for c in sha))

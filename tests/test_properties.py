@@ -11,7 +11,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import scaled_config
+from repro.config import MemoryOrgConfig, scaled_config
+from repro.memsim.address import AddressMapper, MemoryLocation
 from repro.memsim.controller import MemoryController
 from repro.memsim.engine import EventEngine
 from repro.memsim.request import MemRequest, RequestKind
@@ -99,7 +100,7 @@ class TestConservation:
         engine, mc, _ = drive(specs)
         mc.sync_accounting()
         wall = engine.now
-        totals = mc.counters.rank_state_ns.sum(axis=1)
+        totals = np.array(mc.counters.rank_state_ns).sum(axis=1)
         assert np.allclose(totals, wall, atol=1e-6)
 
     @given(request_specs)
@@ -132,7 +133,7 @@ class TestBusExclusivity:
         engine, mc, _ = drive(specs)
         n = len(specs)
         burst = 4 * 1.25
-        assert mc.counters.channel_busy_ns.sum() == pytest.approx(n * burst)
+        assert sum(mc.counters.channel_busy_ns) == pytest.approx(n * burst)
 
 
 class TestFrequencyInvariance:
@@ -171,3 +172,150 @@ class TestFrequencyInvariance:
             engine.run()
             latencies.append(done[0].total_latency_ns)
         assert latencies[1] > latencies[0]
+
+
+#: Randomized but always-valid memory geometries for the address mapper.
+#: Tests draw addresses below each geometry's capacity, where encode is
+#: a true inverse of decode (beyond it the row index wraps).
+geometries = st.builds(
+    lambda channels, banks, ranks, lines, rows: MemoryOrgConfig(
+        channels=channels, dimms_per_channel=1, ranks_per_dimm=ranks,
+        banks_per_rank=banks, rows_per_bank=rows,
+        cache_line_bytes=64, row_size_bytes=64 * lines),
+    channels=st.integers(min_value=1, max_value=8),
+    banks=st.integers(min_value=1, max_value=16),
+    ranks=st.integers(min_value=1, max_value=4),
+    lines=st.integers(min_value=1, max_value=256),
+    rows=st.integers(min_value=1 << 16, max_value=1 << 20),
+)
+
+
+class TestAddressMapping:
+    """decode/encode are mutually inverse bijections on any geometry."""
+
+    @given(geometries, st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_from_address(self, org, data):
+        org.validate()
+        mapper = AddressMapper(org)
+        # Stay below the geometry's capacity in cache lines: beyond it
+        # the row index wraps (decode is total, encode inverts only the
+        # non-wrapped range).
+        capacity = (org.channels * org.ranks_per_channel
+                    * org.banks_per_rank * org.rows_per_bank
+                    * org.lines_per_row)
+        addr = data.draw(
+            st.integers(0, min(capacity, 1 << 40) - 1), label="addr")
+        loc = mapper.decode(addr)
+        assert 0 <= loc.channel < org.channels
+        assert 0 <= loc.rank < org.ranks_per_channel
+        assert 0 <= loc.bank < org.banks_per_rank
+        assert 0 <= loc.row < org.rows_per_bank
+        assert 0 <= loc.column < org.lines_per_row
+        assert mapper.encode(loc) == addr
+
+    @given(geometries, st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_from_location(self, org, data):
+        mapper = AddressMapper(org)
+        loc = MemoryLocation(
+            channel=data.draw(st.integers(0, org.channels - 1)),
+            rank=data.draw(st.integers(0, org.ranks_per_channel - 1)),
+            bank=data.draw(st.integers(0, org.banks_per_rank - 1)),
+            row=data.draw(st.integers(0, org.rows_per_bank - 1)),
+            column=data.draw(st.integers(0, org.lines_per_row - 1)),
+        )
+        assert mapper.decode(mapper.encode(loc)) == loc
+
+    @given(geometries, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_decode_is_injective(self, org, data):
+        mapper = AddressMapper(org)
+        capacity = (org.channels * org.ranks_per_channel
+                    * org.banks_per_rank * org.rows_per_bank
+                    * org.lines_per_row)
+        addrs = data.draw(
+            st.lists(st.integers(0, min(capacity, 1 << 40) - 1),
+                     min_size=2, max_size=50, unique=True), label="addrs")
+        locations = [mapper.decode(a) for a in addrs]
+        assert len(set(locations)) == len(locations)
+
+    @given(geometries)
+    @settings(max_examples=50, deadline=None)
+    def test_consecutive_lines_interleave_channels(self, org):
+        # Cache-line interleaving: consecutive addresses walk channels
+        # round-robin before anything else changes.
+        mapper = AddressMapper(org)
+        for addr in range(min(4 * org.channels, 64)):
+            assert mapper.decode(addr).channel == addr % org.channels
+
+
+#: An event plan: per event a (delay, cancel_me) pair. Cancellation is
+#: decided up front so the expected firing set is computable.
+event_plans = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.booleans(),
+    ),
+    min_size=1, max_size=80,
+)
+
+
+class TestEngineOrderingUnderCancellation:
+    """The event loop's contract survives arbitrary cancellation."""
+
+    @given(event_plans)
+    @settings(max_examples=100, deadline=None)
+    def test_fired_events_sorted_and_cancelled_skipped(self, plan):
+        engine = EventEngine()
+        fired = []
+        events = []
+        for i, (delay, _) in enumerate(plan):
+            events.append(engine.schedule(
+                delay, lambda i=i: fired.append((engine.now, i))))
+        for event, (_, cancel_me) in zip(events, plan):
+            if cancel_me:
+                event.cancel()
+        engine.run()
+        expected = [i for i, (_, c) in enumerate(plan) if not c]
+        assert sorted(f[1] for f in fired) == expected
+        # (time, insertion seq) ordering: times never decrease, and ties
+        # fire in submission order.
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+        for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+            if t1 == t2:
+                assert i1 < i2
+        assert engine.pending == 0
+
+    @given(event_plans, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_callbacks_cancelling_future_events(self, plan, data):
+        # Cancels issued *from inside callbacks* (the simulator's actual
+        # pattern) must prevent later-scheduled victims from firing.
+        engine = EventEngine()
+        fired = []
+        events = []
+        victims = {}
+        for i, (delay, _) in enumerate(plan):
+            def callback(i=i):
+                fired.append(i)
+                victim = victims.get(i)
+                if victim is not None:
+                    victim.cancel()
+            events.append(engine.schedule(delay, callback))
+        # Each cancelling event picks a victim that fires strictly later.
+        order = sorted(range(len(plan)), key=lambda i: (plan[i][0], i))
+        for pos, i in enumerate(order):
+            if plan[i][1] and pos + 1 < len(order):
+                target_pos = data.draw(
+                    st.integers(pos + 1, len(order) - 1), label="victim")
+                victims[i] = events[order[target_pos]]
+        engine.run()
+        # Exactly the never-cancelled events fired, once each, in
+        # (time, seq) order; victims sort strictly after their canceller,
+        # so every cancel lands before its victim would have popped.
+        expected = [i for i in order if not events[i].cancelled]
+        assert fired == expected
+        assert engine.pending == 0
+        assert engine.events_processed >= len(fired)

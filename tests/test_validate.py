@@ -437,7 +437,7 @@ class TestConservation:
         mc.submit_read(0, on_complete=lambda r: done.append(r))
         engine.run()
         # corrupt one rank's state-time integral behind the validator
-        mc.counters.rank_state_ns[0, 0] += 123.0
+        mc.counters.rank_state_ns[0][0] += 123.0
         v.finalize()
         assert "conservation" in rules(v)
 
