@@ -7,7 +7,8 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # Tiny mix through the parallel runner with 2 workers; exits non-zero
-# if the epoch loop, cache, or savings sanity checks fail.
+# if the epoch loop, cache, savings sanity checks, or the capped leg
+# (a 2-point power-budget sweep through the cap governor) fail.
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --jobs 2
 

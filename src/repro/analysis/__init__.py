@@ -2,6 +2,7 @@
 
 from repro.analysis.tables import (
     bar,
+    cap_summary_table,
     format_bar_chart,
     format_series,
     format_table,
@@ -11,6 +12,7 @@ from repro.analysis.tables import (
 
 __all__ = [
     "bar",
+    "cap_summary_table",
     "format_bar_chart",
     "format_series",
     "format_table",

@@ -96,3 +96,41 @@ def savings_table(rows: Dict[str, Dict[str, float]],
         for label, values in rows.items()
     ]
     return format_table(["workload"] + columns, table_rows, title=title)
+
+
+def cap_summary_table(rows: Sequence[Dict[str, object]],
+                      title: Optional[str] = "power-cap sweep") -> str:
+    """Summary table of a cap sweep (one row per (mix, budget) point).
+
+    ``rows`` are the ``cap_sweep`` experiment's row dicts: ``workload``,
+    ``governor``, ``budget_fraction`` (None for the throttle reference),
+    ``budget_w``, ``avg_power_w``, ``violations``, ``time_over_frac``,
+    ``infeasible_epochs``, ``min_perf``, ``worst_cpi_increase``, and
+    ``system_savings``. Missing budget columns render as ``-``.
+    """
+    if not rows:
+        raise ValueError("no cap results to format")
+
+    def num(row, key, fmt):
+        value = row.get(key)
+        return "-" if value is None else fmt.format(value)
+
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row["workload"],
+            row["governor"],
+            num(row, "budget_fraction", "{:.0%}"),
+            num(row, "budget_w", "{:.2f}"),
+            num(row, "avg_power_w", "{:.2f}"),
+            num(row, "violations", "{:d}"),
+            num(row, "time_over_frac", "{:.1%}"),
+            num(row, "infeasible_epochs", "{:d}"),
+            num(row, "min_perf", "{:.3f}"),
+            percent(float(row["worst_cpi_increase"])),
+            percent(float(row["system_savings"])),
+        ])
+    return format_table(
+        ["workload", "governor", "budget", "cap W", "avg W", "viol",
+         "t>cap", "infeas", "min perf", "worst CPI", "sys savings"],
+        table_rows, title=title)

@@ -1,0 +1,36 @@
+"""Power-capping subsystem (FastCap-style budget enforcement).
+
+MemScale answers "which frequency minimizes energy under a slowdown
+bound?"; this package answers the dual question its authors later posed
+in FastCap (Liu, Cox, Deng, Draper, Bianchini): "which frequencies keep
+the memory subsystem under a *power budget* while degrading every
+application as little — and as evenly — as possible?"
+
+Three collaborating pieces, layered on the existing models:
+
+* :mod:`~repro.cap.budget` — :class:`PowerBudget`: the budget contract
+  (static watts or a time-varying :class:`BudgetSchedule`) plus the
+  violation ledger (count, magnitude, time-over-cap);
+* :mod:`~repro.cap.allocator` — :class:`CapAllocator`: the per-epoch
+  search of the joint (MC/global frequency x per-channel frequency)
+  space that maximizes the minimum per-application normalized
+  performance subject to the cap, built on the Section 3.3 performance
+  model and the Micron-style power model;
+* :mod:`~repro.cap.governor` — :class:`CapGovernor`: the
+  :class:`~repro.core.governor.Governor` implementation the epoch loop
+  drives, unchanged at its call sites.
+"""
+
+from repro.cap.allocator import Allocation, CapAllocator, CapCandidate
+from repro.cap.budget import BudgetSchedule, PowerBudget, ViolationStats
+from repro.cap.governor import CapGovernor
+
+__all__ = [
+    "Allocation",
+    "BudgetSchedule",
+    "CapAllocator",
+    "CapCandidate",
+    "CapGovernor",
+    "PowerBudget",
+    "ViolationStats",
+]

@@ -1,0 +1,183 @@
+"""Power-budget contract and violation ledger.
+
+A :class:`PowerBudget` holds the cap the governor must enforce — either
+a single static wattage or a :class:`BudgetSchedule` of step changes —
+and keeps the violation ledger the cap experiments report: how many
+epochs exceeded the cap, by how much at worst, for how long in total,
+and how much excess energy slipped through. The governor converts each
+epoch's energy-model output into an average wattage and calls
+:meth:`PowerBudget.account` once per epoch, so an over-budget epoch is
+*always* recorded — the cap sweep can show a violation count, but never
+a silent overshoot.
+
+The budget covers the modeled **memory subsystem** power (DIMMs plus
+memory controller, the ``memory_w`` total of
+:class:`~repro.core.power_model.PowerBreakdown`), which is the domain
+the governor actually controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BudgetSchedule:
+    """A piecewise-constant power budget over simulated time.
+
+    ``steps`` is a sequence of ``(start_ns, watts)`` pairs sorted by
+    start time; the budget at time ``t`` is the wattage of the last step
+    whose ``start_ns <= t``. The first step must start at 0 so the
+    budget is defined from simulation start.
+    """
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("schedule needs at least one step")
+        if self.steps[0][0] != 0.0:
+            raise ValueError("first step must start at t=0")
+        starts = [s for s, _ in self.steps]
+        if starts != sorted(starts):
+            raise ValueError("steps must be sorted by start time")
+        if len(set(starts)) != len(starts):
+            raise ValueError("duplicate step start times")
+        if any(w <= 0 for _, w in self.steps):
+            raise ValueError("budget watts must be positive")
+
+    @classmethod
+    def static(cls, watts: float) -> "BudgetSchedule":
+        """A flat budget of ``watts`` for the whole run."""
+        return cls(steps=((0.0, float(watts)),))
+
+    def watts_at(self, t_ns: float) -> float:
+        """The budget in force at simulated time ``t_ns``."""
+        if t_ns < 0:
+            raise ValueError("time must be non-negative")
+        current = self.steps[0][1]
+        for start, watts in self.steps:
+            if start > t_ns:
+                break
+            current = watts
+        return current
+
+    @property
+    def min_watts(self) -> float:
+        """The tightest budget anywhere on the schedule."""
+        return min(w for _, w in self.steps)
+
+
+@dataclass(frozen=True)
+class ViolationStats:
+    """Summary of the ledger, as reported by the cap experiments."""
+
+    epochs_accounted: int
+    violation_count: int
+    time_over_cap_ns: float     #: total wall time spent above the cap
+    total_time_ns: float        #: total wall time accounted
+    max_over_w: float           #: worst instantaneous overshoot (watts)
+    excess_energy_j: float      #: energy above the cap, integrated
+    peak_power_w: float         #: highest epoch-average power accounted
+
+    @property
+    def time_over_cap_fraction(self) -> float:
+        """Share of accounted time spent above the cap."""
+        if self.total_time_ns <= 0:
+            return 0.0
+        return self.time_over_cap_ns / self.total_time_ns
+
+
+class PowerBudget:
+    """Budget tracker: answers "what is the cap now?" and keeps the ledger.
+
+    ``tolerance_frac`` is the accounting dead-band: an epoch is recorded
+    as a violation only when its average power exceeds the cap by more
+    than this fraction. It exists because the governor decides from
+    *predicted* power while the ledger records *measured* power; the
+    default 1% absorbs model noise without hiding real overshoot.
+    """
+
+    def __init__(self, watts: Optional[float] = None,
+                 schedule: Optional[BudgetSchedule] = None,
+                 tolerance_frac: float = 0.01):
+        if (watts is None) == (schedule is None):
+            raise ValueError("give exactly one of watts or schedule")
+        if schedule is None:
+            schedule = BudgetSchedule.static(watts)
+        if tolerance_frac < 0:
+            raise ValueError("tolerance_frac must be non-negative")
+        self.schedule = schedule
+        self.tolerance_frac = tolerance_frac
+        self.epochs_accounted = 0
+        self.violation_count = 0
+        self.time_over_cap_ns = 0.0
+        self.total_time_ns = 0.0
+        self.max_over_w = 0.0
+        self.excess_energy_j = 0.0
+        self.peak_power_w = 0.0
+        #: (t_start_ns, t_end_ns, avg_power_w, budget_w) per violation.
+        self.violations: List[Tuple[float, float, float, float]] = []
+
+    def budget_at(self, t_ns: float) -> float:
+        """The cap in force at simulated time ``t_ns``."""
+        return self.schedule.watts_at(t_ns)
+
+    @property
+    def min_watts(self) -> float:
+        return self.schedule.min_watts
+
+    def account(self, t_start_ns: float, t_end_ns: float,
+                avg_power_w: float) -> bool:
+        """Record one epoch's average power; returns True on a violation.
+
+        The epoch is judged against the budget in force at its *start*
+        (a budget step mid-epoch applies from the next epoch on, which
+        is when the governor can first react to it).
+        """
+        if t_end_ns <= t_start_ns:
+            raise ValueError("epoch must have positive duration")
+        if avg_power_w < 0:
+            raise ValueError("power must be non-negative")
+        duration_ns = t_end_ns - t_start_ns
+        budget_w = self.budget_at(t_start_ns)
+        self.epochs_accounted += 1
+        self.total_time_ns += duration_ns
+        if avg_power_w > self.peak_power_w:
+            self.peak_power_w = avg_power_w
+        over_w = avg_power_w - budget_w
+        if over_w <= budget_w * self.tolerance_frac:
+            return False
+        self.violation_count += 1
+        self.time_over_cap_ns += duration_ns
+        if over_w > self.max_over_w:
+            self.max_over_w = over_w
+        self.excess_energy_j += over_w * duration_ns * 1e-9
+        self.violations.append((t_start_ns, t_end_ns, avg_power_w, budget_w))
+        return True
+
+    def stats(self) -> ViolationStats:
+        """Immutable snapshot of the ledger."""
+        return ViolationStats(
+            epochs_accounted=self.epochs_accounted,
+            violation_count=self.violation_count,
+            time_over_cap_ns=self.time_over_cap_ns,
+            total_time_ns=self.total_time_ns,
+            max_over_w=self.max_over_w,
+            excess_energy_j=self.excess_energy_j,
+            peak_power_w=self.peak_power_w,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable ledger summary for reports and telemetry."""
+        s = self.stats()
+        return {
+            "budget_min_w": self.min_watts,
+            "epochs_accounted": s.epochs_accounted,
+            "violation_count": s.violation_count,
+            "time_over_cap_fraction": s.time_over_cap_fraction,
+            "max_over_w": s.max_over_w,
+            "excess_energy_j": s.excess_energy_j,
+            "peak_power_w": s.peak_power_w,
+        }

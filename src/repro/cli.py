@@ -5,6 +5,8 @@ Every experiment is reachable from the shell::
     python -m repro table1
     python -m repro run MID3 --policy MemScale --instructions 200000
     python -m repro sweep --mixes MID1 MID2 --policies MemScale Static --jobs 4
+    python -m repro cap --mixes MID1 --budgets 0.9 0.8 0.7
+    python -m repro governors
     python -m repro bench --smoke
     python -m repro perfbench
     python -m repro figure 5
@@ -27,15 +29,20 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.analysis import format_table
+from repro.analysis import cap_summary_table, format_table
 from repro.config import NS_PER_US, scaled_config
 from repro.cpu.stats import workload_stats
 from repro.cpu.workloads import MIXES, mix_names
 from repro.sim import experiments
 from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
-from repro.sim.parallel import run_sweep, sweep_table
-from repro.sim.runner import POLICY_NAMES, ExperimentRunner, RunnerSettings
+from repro.sim.parallel import run_cap_sweep, run_sweep, sweep_table
+from repro.sim.runner import (GOVERNOR_INFO, POLICY_NAMES, ExperimentRunner,
+                              RunnerSettings, governor_listing)
 from repro.sim.telemetry import JsonlTelemetry
+
+#: Budget points of the cap smoke leg (`repro cap --smoke` and the
+#: capped leg of `repro bench --smoke`): a loose and a tight cap.
+SMOKE_BUDGET_FRACTIONS = (0.9, 0.75)
 
 
 def _cache_from_args(args) -> Optional[ExperimentCache]:
@@ -102,7 +109,9 @@ def cmd_run(args) -> None:
     runner = _make_runner(args)
     if args.policy not in POLICY_NAMES or args.policy == "Baseline":
         raise SystemExit(
-            f"--policy must be one of {[p for p in POLICY_NAMES if p != 'Baseline']}")
+            f"unknown policy {args.policy!r}; registered governors are:\n"
+            f"{governor_listing()}\n"
+            f"(`run` accepts the sweep-able names except 'Baseline')")
     telemetry = JsonlTelemetry(args.telemetry) if args.telemetry else None
     try:
         cmp = runner.compare_named(mix, args.policy, telemetry=telemetry)
@@ -135,7 +144,8 @@ def cmd_sweep(args) -> None:
     for policy in policies:
         if policy not in POLICY_NAMES:
             raise SystemExit(
-                f"unknown policy {policy!r}; choose from {POLICY_NAMES}")
+                f"unknown policy {policy!r}; registered governors are:\n"
+                f"{governor_listing()}")
     config = scaled_config()
     if args.bound is not None:
         config = config.with_policy(cpi_bound=args.bound)
@@ -171,6 +181,101 @@ def cmd_sweep(args) -> None:
         save_results(args.save, [o.result for o in outcomes]
                      + [o.comparison for o in outcomes])
         print(f"results saved to {args.save}")
+
+
+def _check_cap_outcomes(outcomes) -> List[str]:
+    """Smoke-grade acceptance checks on a cap sweep's outcomes.
+
+    Returns failure strings (empty = pass). Checks, per capped point:
+    (a) no silent overshoot — every accounted epoch stayed within the
+    budget's tolerance band or the ledger recorded a violation; and
+    (b) fairness — the capped run's min-app normalized performance is
+    no lower than the naive lowest-frequency throttle reference.
+    """
+    failures: List[str] = []
+    throttle = {o.mix: o for o in outcomes if o.budget_fraction is None}
+    for o in outcomes:
+        if o.budget_fraction is None:
+            continue
+        label = f"{o.mix}/cap{o.budget_fraction:.2f}"
+        cap = o.cap or {}
+        if not cap.get("epochs_accounted"):
+            failures.append(f"{label}: ledger accounted no epochs")
+            continue
+        tol = 1.0 + 0.01 + 1e-9
+        if (cap.get("violation_count", 0) == 0
+                and cap.get("peak_power_w", 0.0) > o.budget_w * tol):
+            failures.append(
+                f"{label}: silent overshoot — peak epoch power "
+                f"{cap['peak_power_w']:.2f}W over budget {o.budget_w:.2f}W "
+                f"with no recorded violation")
+        ref = throttle.get(o.mix)
+        if ref is not None and o.min_perf < ref.min_perf - 1e-9:
+            failures.append(
+                f"{label}: min-app normalized perf {o.min_perf:.4f} below "
+                f"the throttle reference {ref.min_perf:.4f}")
+    return failures
+
+
+def cmd_cap(args) -> None:
+    if args.smoke:
+        mixes = ["MID1"]
+        fractions = list(SMOKE_BUDGET_FRACTIONS)
+        settings = RunnerSettings(cores=4, instructions_per_core=8_000,
+                                  seed=2011)
+    else:
+        mixes = args.mixes if args.mixes else mix_names("MID")
+        fractions = args.budgets
+        settings = RunnerSettings(cores=args.cores,
+                                  instructions_per_core=args.instructions,
+                                  seed=args.seed)
+    for mix in mixes:
+        _check_mix(mix)
+    if any(f <= 0 for f in fractions):
+        raise SystemExit("--budgets must be positive fractions of the "
+                         "baseline memory power")
+    config = scaled_config()
+    if args.validate:
+        config = config.replace(validate_protocol=True)
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    start = time.perf_counter()
+    outcomes = run_cap_sweep(mixes, fractions, config=config,
+                             settings=settings, jobs=args.jobs,
+                             cache_dir=cache_dir,
+                             telemetry_dir=args.telemetry)
+    wall = time.perf_counter() - start
+    rows = [experiments.cap_outcome_row(o) for o in outcomes]
+    print(cap_summary_table(
+        rows, title=f"power-cap sweep: {len(mixes)} mixes x "
+                    f"{len(fractions)} budgets (+throttle reference)"))
+    print("\nbudgets are fractions of each mix's baseline average memory "
+          "power;\nThrottle rows pin the slowest static frequency (the "
+          "naive alternative)")
+    if args.validate:
+        print("protocol validator: armed on every simulated run, "
+              "zero violations")
+    if args.telemetry:
+        print(f"per-epoch telemetry JSONL files in {args.telemetry}/")
+    failures = _check_cap_outcomes(outcomes)
+    if failures:
+        raise SystemExit("CAP CHECKS FAILED:\n  " + "\n  ".join(failures))
+    if args.smoke:
+        print(f"\nCAP SMOKE OK: {len(outcomes)} runs "
+              f"({len(fractions)} budgets + throttle), {wall:.2f}s wall")
+    else:
+        print(f"\n{len(outcomes)} runs in {wall:.2f}s wall "
+              f"(cap enforcement checks passed)")
+
+
+def cmd_governors(args) -> None:
+    rows = [[name, mode, desc] for name, mode, desc in GOVERNOR_INFO]
+    print(format_table(["governor", "powerdown", "description"], rows,
+                       title="registered governors"))
+    print("\nthe first eight are accepted by `run --policy` and "
+          "`sweep --policies`;\nCap runs via `repro cap`, "
+          "MemScale/channel via the repro.core.extensions API")
 
 
 def cmd_bench(args) -> None:
@@ -212,6 +317,13 @@ def cmd_bench(args) -> None:
         vrunner.run_named_policy("MID1", "MemScale+Fast-PD")
     except ProtocolViolation as exc:
         failures.append(f"validator: {exc}")
+    # Capped leg: a 2-point budget sweep through the same parallel path
+    # (cache shared with the sweep above), checking the power-capping
+    # governor's no-silent-overshoot and fairness guarantees in tier-1.
+    cap_outcomes = run_cap_sweep(
+        ["MID1"], SMOKE_BUDGET_FRACTIONS, config=config,
+        settings=settings, jobs=args.jobs, cache_dir=cache_dir)
+    failures.extend(_check_cap_outcomes(cap_outcomes))
     print(format_table(
         ["workload", "policy", "mem savings", "sys savings",
          "worst CPI", "job wall"],
@@ -219,6 +331,8 @@ def cmd_bench(args) -> None:
     if failures:
         raise SystemExit("SMOKE FAILED:\n  " + "\n  ".join(failures))
     print("validator: armed leg passed (zero protocol violations)")
+    print(f"cap: capped leg passed ({len(SMOKE_BUDGET_FRACTIONS)} budgets "
+          f"+ throttle reference on MID1)")
     print(f"\nSMOKE OK: {len(outcomes)} runs, {args.jobs} workers, "
           f"{wall:.2f}s wall")
 
@@ -365,6 +479,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("cap",
+                       help="power-cap budget sweep with violation and "
+                            "fairness stats")
+    p.add_argument("--mixes", nargs="+", default=None, metavar="MIX",
+                   help="mixes to cap (default: the four MID mixes)")
+    p.add_argument("--budgets", nargs="+", type=float,
+                   default=list(experiments.DEFAULT_BUDGET_FRACTIONS),
+                   metavar="FRAC",
+                   help="budgets as fractions of each mix's baseline "
+                        "memory power (default: 1.0 .. 0.6)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny 2-point sweep on MID1 with acceptance "
+                        "checks (cap enforcement + fairness)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: up to 8, one per CPU)")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write one per-epoch telemetry JSONL file per run "
+                        "into DIR")
+    p.add_argument("--validate", action="store_true",
+                   help="arm the DDR3 protocol validator in every worker")
+    _add_scale_args(p)
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_cap)
+
+    p = sub.add_parser("governors",
+                       help="list every registered governor")
+    p.set_defaults(func=cmd_governors)
 
     p = sub.add_parser("bench", help="benchmark entry points (CI smoke)")
     p.add_argument("--smoke", action="store_true",

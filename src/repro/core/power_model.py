@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.config import SystemConfig
-from repro.core.frequency import FrequencyLadder, FrequencyPoint
+from repro.core.frequency import (BURST_BUS_CYCLES, FrequencyLadder,
+                                  FrequencyPoint)
 from repro.memsim.counters import CounterDelta
 
 
@@ -257,7 +258,9 @@ class PowerModel:
         return total
 
     def predict(self, delta: CounterDelta, candidate: FrequencyPoint,
-                time_scale: float) -> PowerBreakdown:
+                time_scale: float,
+                channel_bus_mhz: Optional[Sequence[float]] = None
+                ) -> PowerBreakdown:
         """Predict the breakdown if the profiled interval ran at ``candidate``.
 
         ``time_scale`` is the performance model's predicted execution-time
@@ -267,12 +270,22 @@ class PowerModel:
         keep their absolute active time (device operations have fixed
         wall-clock duration) while standby absorbs the change in interval
         length.
+
+        ``channel_bus_mhz`` predicts a per-channel-DFS configuration (cap
+        allocator's joint search): each channel's burst time, DIMM
+        background derate and register/PLL power follow its own clock,
+        while the MC stays at ``candidate``. With the default ``None``
+        the computation is exactly the historical global-frequency path.
         """
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {time_scale}")
         if delta.interval_ns <= 0:
-            return self.measure(delta, candidate)
+            return self.measure(delta, candidate,
+                                channel_bus_mhz=channel_bus_mhz)
         interval = delta.interval_ns * time_scale
+        if channel_bus_mhz is not None:
+            return self._predict_per_channel(delta, candidate, interval,
+                                             channel_bus_mhz)
         accesses = float(delta.channel_reads.sum() + delta.channel_writes.sum())
         busy_ns = accesses * candidate.burst_ns
         util = busy_ns / (interval * max(1, len(delta.channel_busy_ns)))
@@ -321,5 +334,84 @@ class PowerModel:
             rdwr_w=rdwr_w,
             termination_w=term_w,
             pll_reg_w=self.pll_reg_power_w(util, candidate.bus_mhz),
+            mc_w=self.mc_power_w(util, candidate),
+        )
+
+    def _predict_per_channel(self, delta: CounterDelta,
+                             candidate: FrequencyPoint, interval: float,
+                             channel_bus_mhz: Sequence[float]
+                             ) -> PowerBreakdown:
+        """Per-channel-DFS prediction backing :meth:`predict`.
+
+        Mirrors the global path's stretch-the-standby accounting, but
+        each channel's burst time and clock-derated components follow
+        its own frequency. The MC remains at the global ``candidate``.
+        """
+        org = self._config.org
+        if len(channel_bus_mhz) != org.channels:
+            raise ValueError("channel_bus_mhz must cover every channel")
+        cur = self._config.currents
+        vdd = cur.vdd
+        chips = org.chips_per_rank
+
+        # Busy time per channel from its own burst length.
+        busy_by_channel = []
+        for ch, mhz in enumerate(channel_bus_mhz):
+            accesses = float(delta.channel_reads[ch]
+                             + delta.channel_writes[ch])
+            burst_ns = BURST_BUS_CYCLES * 1000.0 / mhz
+            busy_by_channel.append(accesses * burst_ns)
+        busy_ns = sum(busy_by_channel)
+        util = busy_ns / (interval * max(1, org.channels))
+
+        # Background: hold absolute active/powerdown time, stretch
+        # standby; derate each rank by its channel's clock.
+        total_bg = 0.0
+        for rank, row in enumerate(delta.rank_state_ns.tolist()):
+            derate = self._freq_derate(
+                channel_bus_mhz[rank // org.ranks_per_channel])
+            act_stby, pre_stby, act_pd, pre_pd = row
+            fixed = act_stby + act_pd + pre_pd
+            pre_stby_new = max(0.0, interval - fixed)
+            total_bg += (act_stby / interval) * cur.idd3n * vdd * chips * derate
+            total_bg += (pre_stby_new / interval) * cur.idd2n * vdd * chips * derate
+            total_bg += (act_pd / interval) * cur.idd3p * vdd * chips * derate
+            total_bg += (pre_pd / interval) * cur.idd2p * vdd * chips * derate
+
+        time_scale = interval / delta.interval_ns
+        refresh_w = (float(delta.refreshes.sum()) * time_scale
+                     * self._e_refresh_rank_j / (interval * 1e-9))
+        actpre_w = delta.pocc * self._e_actpre_rank_j / (interval * 1e-9)
+
+        reads = float(delta.channel_reads.sum())
+        writes = float(delta.channel_writes.sum())
+        ops = reads + writes
+        if ops > 0 and busy_ns > 0:
+            read_share = reads / ops
+            p_read = (cur.idd4r - cur.idd3n) * vdd * chips
+            p_write = (cur.idd4w - cur.idd3n) * vdd * chips
+            p_burst = read_share * p_read + (1.0 - read_share) * p_write
+            rdwr_w = p_burst * (busy_ns / interval)
+            p_term = (read_share * cur.termination_w_read
+                      + (1.0 - read_share) * cur.termination_w_write)
+            term_w = (p_term * (busy_ns / interval)
+                      if org.ranks_per_channel > 1 else 0.0)
+        else:
+            rdwr_w = 0.0
+            term_w = 0.0
+
+        # pll_reg_power_w covers all DIMMs; one channel's share is 1/channels.
+        pll_reg = sum(
+            self.pll_reg_power_w(busy_by_channel[ch] / interval, mhz)
+            / org.channels
+            for ch, mhz in enumerate(channel_bus_mhz)
+        )
+        return PowerBreakdown(
+            background_w=total_bg,
+            refresh_w=refresh_w,
+            actpre_w=actpre_w,
+            rdwr_w=rdwr_w,
+            termination_w=term_w,
+            pll_reg_w=pll_reg,
             mc_w=self.mc_power_w(util, candidate),
         )

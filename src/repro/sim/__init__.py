@@ -10,9 +10,12 @@ Sub-modules: :mod:`~repro.sim.system` (the epoch loop),
 
 from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
 from repro.sim.parallel import (
+    CapJob,
+    CapOutcome,
     SweepJob,
     SweepOutcome,
     generate_traces,
+    run_cap_sweep,
     run_sweep,
 )
 from repro.sim.results import (
@@ -32,6 +35,8 @@ from repro.sim.telemetry import (
 )
 
 __all__ = [
+    "CapJob",
+    "CapOutcome",
     "DEFAULT_CACHE_DIR",
     "ENERGY_COMPONENTS",
     "EpochSample",
@@ -50,5 +55,6 @@ __all__ = [
     "compare_to_baseline",
     "generate_traces",
     "load_telemetry",
+    "run_cap_sweep",
     "run_sweep",
 ]

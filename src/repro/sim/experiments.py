@@ -140,6 +140,65 @@ def sensitivity_proportionality(idle_fracs: Sequence[float] = (0.0, 0.5, 1.0),
                   "idle_frac")
 
 
+#: Default cap sweep: uncapped reference power down to ~60% of it.
+DEFAULT_BUDGET_FRACTIONS = (1.0, 0.9, 0.8, 0.7, 0.6)
+
+
+def cap_outcome_row(outcome) -> Dict[str, object]:
+    """Flatten one :class:`~repro.sim.parallel.CapOutcome` to a row dict
+    (the shape :func:`repro.analysis.cap_summary_table` renders)."""
+    cap = outcome.cap or {}
+    return {
+        "workload": outcome.mix,
+        "governor": outcome.governor,
+        "budget_fraction": outcome.budget_fraction,
+        "budget_w": outcome.budget_w,
+        "avg_power_w": outcome.avg_power_w,
+        "violations": cap.get("violation_count"),
+        "time_over_frac": cap.get("time_over_cap_fraction"),
+        "infeasible_epochs": cap.get("infeasible_epochs"),
+        "peak_power_w": cap.get("peak_power_w"),
+        "min_perf": outcome.min_perf,
+        "worst_cpi_increase": outcome.comparison.worst_cpi_increase,
+        "memory_savings": outcome.comparison.memory_energy_savings,
+        "system_savings": outcome.comparison.system_energy_savings,
+    }
+
+
+def cap_sweep(mixes: Optional[Sequence[str]] = None,
+              budget_fractions: Sequence[float] = DEFAULT_BUDGET_FRACTIONS,
+              config: Optional[SystemConfig] = None,
+              settings: Optional[RunnerSettings] = None,
+              jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None,
+              telemetry_dir: Optional[str] = None,
+              include_throttle: bool = True) -> ExperimentResult:
+    """Power-cap budget sweep (the FastCap-style dual experiment).
+
+    For each mix, sweeps the power budget from the uncapped baseline
+    power down to ~60% of it and reports per-point violation, fairness
+    (min-app normalized performance), and slowdown statistics, plus a
+    naive lowest-frequency throttle reference row per mix. Routed
+    through :func:`repro.sim.parallel.run_cap_sweep`, so runs share the
+    on-disk trace/baseline cache with every other experiment.
+    """
+    from repro.sim.parallel import run_cap_sweep
+
+    mixes = list(mixes) if mixes is not None else mix_names("MID")
+    outcomes = run_cap_sweep(
+        mixes, budget_fractions, config=config, settings=settings,
+        jobs=jobs, cache_dir=cache_dir, telemetry_dir=telemetry_dir,
+        include_throttle=include_throttle)
+    result = ExperimentResult(
+        "cap_sweep",
+        notes="budgets are fractions of each mix's baseline average "
+              "memory power; Throttle rows pin the slowest static "
+              "frequency (the naive capping alternative)")
+    for outcome in outcomes:
+        result.rows.append(cap_outcome_row(outcome))
+    return result
+
+
 def timeline(runner: ExperimentRunner, mix: str) -> ExperimentResult:
     """Figures 7/8: per-epoch frequency / CPI / utilization series."""
     result_run, cmp = runner.run_memscale(mix)

@@ -56,6 +56,38 @@ class SweepJob:
     policy: str
 
 
+@dataclass(frozen=True)
+class CapJob:
+    """One unit of cap-sweep work: a mix under one power budget.
+
+    ``budget_fraction`` is the cap expressed as a fraction of the mix's
+    baseline average memory power; ``None`` marks the naive throttle
+    reference (lowest static frequency, no governor), which the fairness
+    comparison is judged against.
+    """
+
+    mix: str
+    budget_fraction: Optional[float]
+
+
+@dataclass
+class CapOutcome:
+    """Result of one :class:`CapJob`, with cap bookkeeping."""
+
+    mix: str
+    budget_fraction: Optional[float]  #: None for the throttle reference
+    budget_w: Optional[float]         #: absolute cap (None for throttle)
+    governor: str
+    result: RunResult
+    comparison: PolicyComparison
+    min_perf: float                   #: min-app normalized performance
+    avg_power_w: float                #: run-average memory power
+    cap: Optional[Dict[str, object]]  #: budget ledger + infeasible count
+    wall_s: float
+    cache_hits: int = 0
+    telemetry_path: Optional[str] = None
+
+
 @dataclass
 class SweepOutcome:
     """Result of one :class:`SweepJob`, with execution metadata."""
@@ -78,6 +110,13 @@ def telemetry_filename(mix: str, policy: str) -> str:
     """Stable, filesystem-safe JSONL name for one (mix, policy) run."""
     slug = re.sub(r"[^A-Za-z0-9._-]+", "_", policy)
     return f"{mix}__{slug}.jsonl"
+
+
+def cap_label(budget_fraction: Optional[float]) -> str:
+    """Display/file label for one cap sweep point."""
+    if budget_fraction is None:
+        return "Throttle"
+    return f"Cap{budget_fraction:.2f}"
 
 
 # -- worker-side entry points (module level: must be picklable) -----------
@@ -127,6 +166,49 @@ def _run_job(args: Tuple[SystemConfig, RunnerSettings, SweepJob,
                         comparison=comparison,
                         wall_s=time.perf_counter() - start,
                         cache_hits=hits, telemetry_path=telemetry_path)
+
+
+def _run_cap_job(args: Tuple[SystemConfig, RunnerSettings, CapJob,
+                             Optional[str], Optional[str]]) -> CapOutcome:
+    """Fan-out task: one capped (or throttle-reference) run on one mix."""
+    from repro.core.baselines import StaticFrequencyGovernor
+
+    config, settings, job, cache_dir, telemetry_dir = args
+    start = time.perf_counter()
+    runner = _make_runner(config, settings, cache_dir)
+    budget_w = None
+    if job.budget_fraction is None:
+        # Naive throttle reference: pin the whole subsystem to the
+        # slowest ladder point for the entire run.
+        governor = StaticFrequencyGovernor(
+            bus_mhz=min(config.sorted_bus_freqs()))
+    else:
+        governor = runner.make_cap_governor(
+            job.mix, budget_fraction=job.budget_fraction)
+        budget_w = governor.budget.min_watts
+    telemetry = None
+    telemetry_path = None
+    if telemetry_dir is not None:
+        telemetry_path = str(Path(telemetry_dir) / telemetry_filename(
+            job.mix, cap_label(job.budget_fraction)))
+        telemetry = JsonlTelemetry(telemetry_path)
+    try:
+        result, comparison = runner.run_and_compare(
+            job.mix, governor, telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    cap = (governor.cap_summary()
+           if job.budget_fraction is not None else None)
+    hits = runner.cache.hits if runner.cache is not None else 0
+    return CapOutcome(
+        mix=job.mix, budget_fraction=job.budget_fraction,
+        budget_w=budget_w, governor=governor.name,
+        result=result, comparison=comparison,
+        min_perf=1.0 / (1.0 + comparison.worst_cpi_increase),
+        avg_power_w=result.avg_memory_power_w, cap=cap,
+        wall_s=time.perf_counter() - start,
+        cache_hits=hits, telemetry_path=telemetry_path)
 
 
 # -- driver ----------------------------------------------------------------
@@ -205,6 +287,65 @@ def run_sweep(mixes: Sequence[str],
             # the cache instead of racing to regenerate baselines.
             list(pool.map(_warm_mix, warm_args))
         return list(pool.map(_run_job, job_args))
+
+
+def run_cap_sweep(mixes: Sequence[str],
+                  budget_fractions: Sequence[float],
+                  config: Optional[SystemConfig] = None,
+                  settings: Optional[RunnerSettings] = None,
+                  jobs: Optional[int] = None,
+                  cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR,
+                  telemetry_dir: Optional[PathLike] = None,
+                  include_throttle: bool = True) -> List[CapOutcome]:
+    """Evaluate every ``mix`` under every power budget, in parallel.
+
+    ``budget_fractions`` are caps expressed as fractions of each mix's
+    *own* baseline average memory power (1.0 = uncapped reference
+    power); the conversion to absolute watts happens in the worker from
+    the cache-shared baseline run, so all workers agree bit for bit.
+    With ``include_throttle`` a lowest-static-frequency reference run is
+    added per mix (``budget_fraction=None`` in its outcome) — the
+    fairness floor a capping governor must beat.
+
+    Reuses the sweep's two-phase structure: a warm task per mix builds
+    the shared trace + baseline cache entries, then one task per
+    (mix, budget) point runs the capped simulation.
+    """
+    mixes = list(mixes)
+    if not mixes:
+        raise ValueError("need at least one mix")
+    _check_inputs(mixes, [])
+    fractions = [float(f) for f in budget_fractions]
+    if not fractions:
+        raise ValueError("need at least one budget fraction")
+    if any(f <= 0 for f in fractions):
+        raise ValueError("budget fractions must be positive")
+    config = config if config is not None else scaled_config()
+    settings = settings if settings is not None else RunnerSettings()
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    if telemetry_dir is not None:
+        Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
+        telemetry_dir = str(telemetry_dir)
+
+    points: List[Optional[float]] = list(fractions)
+    if include_throttle:
+        points.append(None)
+    cap_jobs = [CapJob(mix, frac) for mix in mixes for frac in points]
+    job_args = [(config, settings, job, cache_dir, telemetry_dir)
+                for job in cap_jobs]
+
+    if jobs == 1:
+        return [_run_cap_job(args) for args in job_args]
+
+    warm_args = [(config, settings, mix, cache_dir) for mix in mixes]
+    with _executor(jobs) as pool:
+        if cache_dir is not None:
+            list(pool.map(_warm_mix, warm_args))
+        return list(pool.map(_run_cap_job, job_args))
 
 
 def generate_traces(mixes: Sequence[str],

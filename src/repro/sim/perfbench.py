@@ -143,11 +143,34 @@ def _check_gate(latest: Dict[str, Dict[str, float]],
         got = latest[name]["events_per_sec"]
         if got < floor:
             failures.append(
-                f"scenario {name!r}: {got:.0f} events/sec is below the "
-                f"gated floor {floor:.0f} (baseline "
-                f"{base['events_per_sec']:.0f}, max regression "
+                f"scenario {name!r}: current {got:.0f} events/sec is below "
+                f"the gated floor {floor:.0f} (baseline "
+                f"{base['events_per_sec']:.0f} events/sec, max regression "
                 f"{max_regression:.0%})")
     return failures
+
+
+def _gate_report(latest: Dict[str, Dict[str, float]],
+                 baseline: Dict[str, Dict[str, float]],
+                 baseline_machine: Optional[Dict[str, object]],
+                 max_regression: float) -> List[str]:
+    """Per-scenario gate summary lines: both sides of the comparison
+    (current *and* baseline events/sec), never just the ratio."""
+    if baseline_machine is not None and baseline_machine != machine_fingerprint():
+        return ["perfbench: baseline was recorded on a different machine; "
+                "regression gate skipped"]
+    lines = []
+    for name in sorted(latest):
+        base = baseline.get(name)
+        if not base:
+            continue
+        got = latest[name]["events_per_sec"]
+        ref = base["events_per_sec"]
+        lines.append(
+            f"perfbench: gate {name}: current {got:.0f} events/sec vs "
+            f"baseline {ref:.0f} events/sec "
+            f"(floor {ref * (1.0 - max_regression):.0f})")
+    return lines
 
 
 def run_perfbench(output: str = DEFAULT_OUTPUT,
@@ -189,6 +212,7 @@ def run_perfbench(output: str = DEFAULT_OUTPUT,
 
     baseline = previous.get("baseline") or {}
     baseline_machine = previous.get("baseline_machine")
+    no_baseline_yet = not baseline
     if update_baseline or not baseline:
         baseline = {**baseline, **latest}
         baseline_machine = machine_fingerprint()
@@ -226,6 +250,17 @@ def run_perfbench(output: str = DEFAULT_OUTPUT,
 
     failures = _check_gate(latest, baseline, baseline_machine, max_regression)
     if not quiet:
+        if no_baseline_yet:
+            print(f"perfbench: no baseline yet in {path} — seeded it from "
+                  f"this run; regression gate skipped")
+        elif update_baseline:
+            print("perfbench: baseline re-seeded from this run; "
+                  "regression gate skipped")
+        else:
+            for line in _gate_report(latest, previous.get("baseline") or {},
+                                     previous.get("baseline_machine"),
+                                     max_regression):
+                print(line)
         for name, ratio in sorted(speedup.items()):
             print(f"perfbench: {name} speedup vs pre-PR baseline: {ratio:.2f}x")
         print(f"perfbench: wrote {path}")

@@ -48,6 +48,45 @@ POLICY_NAMES = (
     "MemScale", "MemScale(MemEnergy)", "MemScale+Fast-PD",
 )
 
+#: Every registered governor: (name, powerdown mode, one-line description).
+#: The first eight are the sweep-able :data:`POLICY_NAMES`; the rest are
+#: reachable through their own entry points (``repro cap``, the
+#: extensions API). ``repro governors`` prints this table.
+GOVERNOR_INFO = (
+    ("Baseline", "none",
+     "All ranks on at maximum frequency; the reference every run is "
+     "normalized against."),
+    ("Fast-PD", "fast-exit",
+     "Baseline plus fast-exit precharge powerdown on idle ranks."),
+    ("Slow-PD", "slow-exit",
+     "Baseline plus slow-exit (self-refresh-like) powerdown."),
+    ("Static", "none",
+     "Boot-time static low bus frequency; never adapts at runtime."),
+    ("Decoupled", "none",
+     "Decoupled DIMMs: full-speed channel with slow DRAM devices."),
+    ("MemScale", "none",
+     "The paper's policy: per-epoch SER-minimal frequency under the "
+     "CPI slowdown bound."),
+    ("MemScale(MemEnergy)", "none",
+     "MemScale variant minimizing memory energy only (Section 4.2.3)."),
+    ("MemScale+Fast-PD", "fast-exit",
+     "MemScale combined with fast-exit powerdown between requests."),
+    ("MemScale/channel", "none",
+     "MemScale with per-channel down-steps (Section 6 extension; "
+     "repro.core.extensions API)."),
+    ("Cap", "none",
+     "Budget-enforcing max-min-fair governor over (MC x per-channel) "
+     "frequencies (run via `repro cap`)."),
+)
+
+
+def governor_listing() -> str:
+    """Multi-line ``name (powerdown): description`` listing for errors
+    and the ``repro governors`` subcommand."""
+    width = max(len(name) for name, _, _ in GOVERNOR_INFO)
+    return "\n".join(f"  {name:<{width}}  [{mode}]  {desc}"
+                     for name, mode, desc in GOVERNOR_INFO)
+
 
 @dataclass(frozen=True)
 class RunnerSettings:
@@ -168,7 +207,43 @@ class ExperimentRunner:
                 mix, objective=PolicyObjective.MEMORY_ENERGY)
         if name == "MemScale+Fast-PD":
             return self.make_memscale_governor(mix, use_powerdown=True)
-        raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+        raise ValueError(
+            f"unknown policy {name!r}; registered governors are:\n"
+            f"{governor_listing()}")
+
+    def make_cap_governor(self, mix: str,
+                          budget_w: Optional[float] = None,
+                          budget_fraction: Optional[float] = None,
+                          schedule: Optional["BudgetSchedule"] = None,
+                          tolerance_frac: float = 0.01) -> "CapGovernor":
+        """A power-capping governor calibrated against the mix's baseline.
+
+        The budget can be given as absolute ``budget_w`` watts, as a
+        ``budget_fraction`` of the mix's baseline average memory power
+        (how the cap sweep expresses budgets), or as a full
+        :class:`~repro.cap.budget.BudgetSchedule` for time-varying caps.
+        """
+        from repro.cap import (BudgetSchedule, CapAllocator, CapGovernor,
+                               PowerBudget)
+        given = [budget_w is not None, budget_fraction is not None,
+                 schedule is not None]
+        if sum(given) != 1:
+            raise ValueError("give exactly one of budget_w, "
+                             "budget_fraction, or schedule")
+        if budget_fraction is not None:
+            if budget_fraction <= 0:
+                raise ValueError("budget_fraction must be positive")
+            budget_w = budget_fraction * self.baseline(mix).avg_memory_power_w
+        if schedule is not None:
+            budget = PowerBudget(schedule=schedule,
+                                 tolerance_frac=tolerance_frac)
+        else:
+            budget = PowerBudget(watts=budget_w,
+                                 tolerance_frac=tolerance_frac)
+        energy_model = EnergyModel(self.config, self.rest_power_w(mix))
+        allocator = CapAllocator(self.config, energy_model,
+                                 n_cores=self.settings.cores)
+        return CapGovernor(allocator, budget)
 
     # -- comparisons --------------------------------------------------------------
 

@@ -29,16 +29,25 @@ from typing import Dict, List, Optional, Union
 PathLike = Union[str, Path]
 
 #: Version written into every record; bump on schema changes.
-TELEMETRY_SCHEMA_VERSION = 1
+#: v1: the original epoch record. v2: appends the nullable power-cap
+#: fields (``budget_w``, ``predicted_power_w``, ``cap_feasible``,
+#: ``min_perf_norm``). v1 files remain loadable.
+TELEMETRY_SCHEMA_VERSION = 2
 
-#: Field names of an epoch record, in emission order (the JSONL schema
-#: contract checked by tests and documented in EXPERIMENTS.md).
-EPOCH_RECORD_FIELDS = (
+#: Field names of a v1 epoch record, in emission order.
+EPOCH_RECORD_FIELDS_V1 = (
     "schema", "kind", "workload", "governor", "epoch",
     "t_start_ns", "t_end_ns", "bus_mhz",
     "predicted_cpi", "actual_cpi", "slack_ns",
     "feasible_bus_mhz", "limited_by_slack",
     "energy_j", "memory_power_w", "channel_util",
+)
+
+#: Field names of an epoch record, in emission order (the JSONL schema
+#: contract checked by tests and documented in EXPERIMENTS.md). The cap
+#: fields are null for every governor except :class:`CapGovernor`.
+EPOCH_RECORD_FIELDS = EPOCH_RECORD_FIELDS_V1 + (
+    "budget_w", "predicted_power_w", "cap_feasible", "min_perf_norm",
 )
 
 
@@ -98,8 +107,9 @@ def epoch_record(workload: str, governor: str, epoch: int,
     ``governor_state`` carries the policy-side fields contributed by
     :meth:`repro.core.governor.Governor.telemetry_snapshot`
     (``predicted_cpi``, ``slack_ns``, ``feasible_bus_mhz``,
-    ``limited_by_slack``); governors without a prediction model leave
-    them ``None``.
+    ``limited_by_slack``, and the cap governor's ``budget_w``,
+    ``predicted_power_w``, ``cap_feasible``, ``min_perf_norm``);
+    governors without the matching model leave them ``None``.
     """
     state = governor_state or {}
     return {
@@ -119,6 +129,10 @@ def epoch_record(workload: str, governor: str, epoch: int,
         "energy_j": {k: float(v) for k, v in energy_j.items()},
         "memory_power_w": float(memory_power_w),
         "channel_util": [float(u) for u in channel_util],
+        "budget_w": state.get("budget_w"),
+        "predicted_power_w": state.get("predicted_power_w"),
+        "cap_feasible": state.get("cap_feasible"),
+        "min_perf_norm": state.get("min_perf_norm"),
     }
 
 
@@ -127,12 +141,16 @@ def validate_epoch_record(record: Dict[str, object]) -> None:
 
     Used by tests and by consumers replaying telemetry files from
     other runs; checks field presence, types, and the schema version.
+    Both current (v2) and historical v1 records are accepted — v1 files
+    simply lack the cap fields.
     """
-    missing = [f for f in EPOCH_RECORD_FIELDS if f not in record]
+    version = record.get("schema")
+    if version not in (1, TELEMETRY_SCHEMA_VERSION):
+        raise ValueError(f"unsupported telemetry schema {version!r}")
+    required = EPOCH_RECORD_FIELDS_V1 if version == 1 else EPOCH_RECORD_FIELDS
+    missing = [f for f in required if f not in record]
     if missing:
         raise ValueError(f"epoch record missing fields: {missing}")
-    if record["schema"] != TELEMETRY_SCHEMA_VERSION:
-        raise ValueError(f"unsupported telemetry schema {record['schema']!r}")
     if record["kind"] != "epoch":
         raise ValueError(f"unknown record kind {record['kind']!r}")
     for name, types in (("workload", str), ("governor", str), ("epoch", int),
@@ -151,6 +169,15 @@ def validate_epoch_record(record: Dict[str, object]) -> None:
     if record["limited_by_slack"] is not None \
             and not isinstance(record["limited_by_slack"], bool):
         raise ValueError("field 'limited_by_slack' must be a bool or null")
+    if version == 1:
+        return
+    for name in ("budget_w", "predicted_power_w", "min_perf_norm"):
+        if record[name] is not None \
+                and not isinstance(record[name], (int, float)):
+            raise ValueError(f"field {name!r} must be a number or null")
+    if record["cap_feasible"] is not None \
+            and not isinstance(record["cap_feasible"], bool):
+        raise ValueError("field 'cap_feasible' must be a bool or null")
 
 
 def load_telemetry(path: PathLike) -> List[Dict[str, object]]:

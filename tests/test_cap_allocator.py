@@ -1,0 +1,150 @@
+"""Tests for the FastCap-style allocator (cap/allocator.py).
+
+The load-bearing piece is the hypothesis property: over randomized
+profiles and budgets, the allocator never selects an infeasible point
+when a feasible one exists, and among feasible points it is max-min
+optimal (no candidate under the cap has strictly better worst-app
+normalized performance).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cap import CapAllocator
+from repro.config import scaled_config
+from repro.core.energy_model import EnergyModel
+from repro.core.frequency import FrequencyLadder
+from tests.conftest import make_delta
+
+CFG = scaled_config()
+LADDER = FrequencyLadder(CFG)
+ALLOC = CapAllocator(CFG, EnergyModel(CFG, rest_power_w=40.0), n_cores=4)
+
+
+def delta_for(tlm=20.0, busy_frac=0.2, reads=90.0, writes=10.0):
+    return make_delta(CFG, tlm_per_core=tlm, busy_frac=busy_frac,
+                      reads=reads, writes=writes)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            CapAllocator(CFG, EnergyModel(CFG, rest_power_w=40.0), n_cores=0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="budget_w"):
+            ALLOC.allocate(delta_for(), LADDER.fastest, 0.0)
+
+
+class TestCandidates:
+    def test_covers_every_global_point(self):
+        cands = ALLOC.candidates(delta_for(), LADDER.fastest)
+        globals_only = [c for c in cands if c.channel_bus_mhz is None]
+        assert [c.global_point.bus_mhz for c in globals_only] == \
+            [p.bus_mhz for p in LADDER]
+
+    def test_refinements_drop_exactly_one_step(self):
+        cands = ALLOC.candidates(delta_for(), LADDER.fastest)
+        for c in cands:
+            if c.channel_bus_mhz is None:
+                continue
+            lower = LADDER[c.global_point.index + 1].bus_mhz
+            assert set(c.channel_bus_mhz) <= \
+                {c.global_point.bus_mhz, lower}
+            # At least one channel actually dropped.
+            assert lower in c.channel_bus_mhz
+
+    def test_slowest_point_has_no_refinement(self):
+        cands = ALLOC.candidates(delta_for(), LADDER.fastest)
+        slowest = LADDER[len(LADDER) - 1]
+        refined = [c for c in cands
+                   if c.global_point.index == slowest.index
+                   and c.channel_bus_mhz is not None]
+        assert refined == []
+
+    def test_no_refinement_without_accesses(self):
+        # Empty profile (no reads/writes): only the global ladder.
+        d = make_delta(CFG, reads=0.0, writes=0.0, busy_frac=0.0)
+        cands = ALLOC.candidates(d, LADDER.fastest)
+        assert all(c.channel_bus_mhz is None for c in cands)
+        assert len(cands) == len(LADDER)
+
+    def test_min_perf_clamped_to_one(self):
+        cands = ALLOC.candidates(delta_for(), LADDER.fastest)
+        assert all(0.0 < c.min_perf <= 1.0 for c in cands)
+
+    def test_fastest_point_is_perf_optimal(self):
+        cands = ALLOC.candidates(delta_for(), LADDER.fastest)
+        fastest = next(c for c in cands if c.channel_bus_mhz is None
+                       and c.global_point.index == 0)
+        assert fastest.min_perf == max(c.min_perf for c in cands)
+
+    def test_single_core_delta(self):
+        # Single-app mix: the fairness min reduces to that one app.
+        alloc = CapAllocator(CFG, EnergyModel(CFG, rest_power_w=40.0),
+                             n_cores=1)
+        d = make_delta(CFG, n_cores=1)
+        cands = alloc.candidates(d, LADDER.fastest)
+        assert all(len(c.predicted_cpi) == 1 for c in cands)
+        a = alloc.allocate(d, LADDER.fastest, budget_w=1e9)
+        assert a.feasible and a.min_perf == 1.0
+
+
+class TestAllocate:
+    def test_huge_budget_selects_max_min_perf(self):
+        a = ALLOC.allocate(delta_for(), LADDER.fastest, budget_w=1e9)
+        assert a.feasible
+        cands = ALLOC.candidates(delta_for(), LADDER.fastest)
+        assert a.min_perf == max(c.min_perf for c in cands)
+        assert a.candidates_evaluated == len(cands)
+
+    def test_tiny_budget_falls_back_to_throttle_hardest(self):
+        a = ALLOC.allocate(delta_for(), LADDER.fastest, budget_w=0.001)
+        assert not a.feasible
+        cands = ALLOC.candidates(delta_for(), LADDER.fastest)
+        assert a.predicted_power_w == min(c.predicted_power_w
+                                          for c in cands)
+
+    def test_feasible_ties_break_toward_lower_power(self):
+        cands = ALLOC.candidates(delta_for(), LADDER.fastest)
+        budget = max(c.predicted_power_w for c in cands) + 1.0
+        a = ALLOC.allocate(delta_for(), LADDER.fastest, budget)
+        best = a.chosen.min_perf
+        peers = [c for c in cands if c.min_perf == best]
+        assert a.predicted_power_w == min(c.predicted_power_w
+                                          for c in peers)
+
+
+@given(
+    tlm=st.floats(min_value=1.0, max_value=400.0, allow_nan=False),
+    busy_frac=st.floats(min_value=0.0, max_value=0.8, allow_nan=False),
+    writes=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    budget_quantile=st.floats(min_value=-0.2, max_value=1.2,
+                              allow_nan=False),
+    start_index=st.integers(min_value=0, max_value=len(LADDER) - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_allocator_never_picks_infeasible_when_feasible_exists(
+        tlm, busy_frac, writes, budget_quantile, start_index):
+    """The acceptance property: for any profile and any budget, if some
+    candidate fits the cap the allocation is feasible, under the cap,
+    and max-min optimal among fitting candidates."""
+    delta = delta_for(tlm=tlm, busy_frac=busy_frac, writes=writes)
+    current = LADDER[start_index]
+    cands = ALLOC.candidates(delta, current)
+    powers = sorted(c.predicted_power_w for c in cands)
+    # Sweep the budget across (and beyond) the candidate power range so
+    # both the feasible and the infeasible regime are exercised.
+    lo, hi = powers[0], powers[-1]
+    budget = max(1e-6, lo + (hi - lo) * budget_quantile)
+
+    a = ALLOC.allocate(delta, current, budget)
+    feasible = [c for c in cands if c.predicted_power_w <= budget]
+    if feasible:
+        assert a.feasible
+        assert a.predicted_power_w <= budget
+        assert a.min_perf == max(c.min_perf for c in feasible)
+    else:
+        assert not a.feasible
+        assert a.predicted_power_w == powers[0]

@@ -1,0 +1,138 @@
+"""Unit tests for the power-budget tracker (cap/budget.py): schedule
+semantics, ledger accounting, the tolerance dead-band, and the
+no-silent-overshoot bookkeeping (peak power is always recorded)."""
+
+import pytest
+
+from repro.cap import BudgetSchedule, PowerBudget
+
+
+class TestBudgetSchedule:
+    def test_static(self):
+        s = BudgetSchedule.static(25.0)
+        assert s.watts_at(0.0) == 25.0
+        assert s.watts_at(1e12) == 25.0
+        assert s.min_watts == 25.0
+
+    def test_steps_apply_from_start_time(self):
+        s = BudgetSchedule(steps=((0.0, 30.0), (1000.0, 20.0),
+                                  (5000.0, 25.0)))
+        assert s.watts_at(0.0) == 30.0
+        assert s.watts_at(999.9) == 30.0
+        assert s.watts_at(1000.0) == 20.0
+        assert s.watts_at(4999.0) == 20.0
+        assert s.watts_at(5000.0) == 25.0
+        assert s.min_watts == 20.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BudgetSchedule.static(10.0).watts_at(-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BudgetSchedule(steps=())
+
+    def test_first_step_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="t=0"):
+            BudgetSchedule(steps=((10.0, 20.0),))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            BudgetSchedule(steps=((0.0, 20.0), (50.0, 10.0), (20.0, 30.0)))
+
+    def test_duplicate_starts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BudgetSchedule(steps=((0.0, 20.0), (0.0, 10.0)))
+
+    def test_nonpositive_watts_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            BudgetSchedule(steps=((0.0, 0.0),))
+
+
+class TestPowerBudgetConstruction:
+    def test_exactly_one_source_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            PowerBudget()
+        with pytest.raises(ValueError, match="exactly one"):
+            PowerBudget(watts=10.0, schedule=BudgetSchedule.static(10.0))
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            PowerBudget(watts=10.0, tolerance_frac=-0.1)
+
+    def test_min_watts_and_budget_at(self):
+        b = PowerBudget(schedule=BudgetSchedule(
+            steps=((0.0, 30.0), (100.0, 18.0))))
+        assert b.min_watts == 18.0
+        assert b.budget_at(0.0) == 30.0
+        assert b.budget_at(100.0) == 18.0
+
+
+class TestAccounting:
+    def test_within_budget_is_not_a_violation(self):
+        b = PowerBudget(watts=20.0)
+        assert b.account(0.0, 1000.0, 19.0) is False
+        s = b.stats()
+        assert s.epochs_accounted == 1
+        assert s.violation_count == 0
+        assert s.time_over_cap_ns == 0.0
+        assert s.total_time_ns == 1000.0
+        assert s.time_over_cap_fraction == 0.0
+
+    def test_dead_band_absorbs_tiny_overshoot(self):
+        b = PowerBudget(watts=20.0, tolerance_frac=0.01)
+        # 0.9% over: inside the band, not a violation — but the peak is
+        # still recorded, so the overshoot is never silent.
+        assert b.account(0.0, 1000.0, 20.18) is False
+        assert b.stats().violation_count == 0
+        assert b.stats().peak_power_w == pytest.approx(20.18)
+
+    def test_violation_recorded_with_magnitude_and_duration(self):
+        b = PowerBudget(watts=20.0, tolerance_frac=0.0)
+        assert b.account(0.0, 1000.0, 25.0) is True
+        s = b.stats()
+        assert s.violation_count == 1
+        assert s.time_over_cap_ns == 1000.0
+        assert s.max_over_w == pytest.approx(5.0)
+        assert s.excess_energy_j == pytest.approx(5.0 * 1000.0 * 1e-9)
+        assert b.violations == [(0.0, 1000.0, 25.0, 20.0)]
+
+    def test_budget_judged_at_epoch_start(self):
+        # The cap steps down at t=500 mid-epoch; the epoch that started
+        # at t=0 is judged against the old 30 W cap, the next one
+        # against the new 10 W cap.
+        b = PowerBudget(schedule=BudgetSchedule(
+            steps=((0.0, 30.0), (500.0, 10.0))), tolerance_frac=0.0)
+        assert b.account(0.0, 1000.0, 25.0) is False
+        assert b.account(1000.0, 2000.0, 25.0) is True
+
+    def test_peak_tracks_maximum_across_epochs(self):
+        b = PowerBudget(watts=50.0)
+        b.account(0.0, 1.0, 10.0)
+        b.account(1.0, 2.0, 30.0)
+        b.account(2.0, 3.0, 20.0)
+        assert b.stats().peak_power_w == 30.0
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            PowerBudget(watts=10.0).account(5.0, 5.0, 1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PowerBudget(watts=10.0).account(0.0, 1.0, -1.0)
+
+    def test_summary_is_json_shaped(self):
+        b = PowerBudget(watts=20.0, tolerance_frac=0.0)
+        b.account(0.0, 1000.0, 25.0)
+        summary = b.summary()
+        assert summary["budget_min_w"] == 20.0
+        assert summary["violation_count"] == 1
+        assert summary["time_over_cap_fraction"] == 1.0
+        assert summary["peak_power_w"] == 25.0
+        assert set(summary) == {"budget_min_w", "epochs_accounted",
+                                "violation_count", "time_over_cap_fraction",
+                                "max_over_w", "excess_energy_j",
+                                "peak_power_w"}
+
+    def test_fraction_zero_when_nothing_accounted(self):
+        assert PowerBudget(watts=5.0).stats().time_over_cap_fraction == 0.0

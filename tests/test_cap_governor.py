@@ -1,0 +1,112 @@
+"""End-to-end tests for CapGovernor in the real epoch loop: ledger
+accounting, telemetry snapshot fields, the infeasible counter, graceful
+degradation, and per-channel programming."""
+
+import pytest
+
+from repro.cap import BudgetSchedule, CapGovernor
+from repro.config import NS_PER_US, scaled_config
+from repro.sim import ListTelemetry
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+
+CFG = scaled_config(epoch_ns=20 * NS_PER_US, profile_ns=2 * NS_PER_US)
+SETTINGS = RunnerSettings(cores=4, instructions_per_core=8_000, seed=2011)
+
+
+@pytest.fixture(scope="module")
+def cap_runner():
+    return ExperimentRunner(config=CFG, settings=SETTINGS)
+
+
+class TestMakeCapGovernor:
+    def test_requires_exactly_one_budget_source(self, cap_runner):
+        with pytest.raises(ValueError, match="exactly one"):
+            cap_runner.make_cap_governor("MID1")
+        with pytest.raises(ValueError, match="exactly one"):
+            cap_runner.make_cap_governor("MID1", budget_w=20.0,
+                                         budget_fraction=0.8)
+
+    def test_fraction_must_be_positive(self, cap_runner):
+        with pytest.raises(ValueError, match="positive"):
+            cap_runner.make_cap_governor("MID1", budget_fraction=0.0)
+
+    def test_fraction_calibrates_against_baseline(self, cap_runner):
+        governor = cap_runner.make_cap_governor("MID1", budget_fraction=0.8)
+        expected = 0.8 * cap_runner.baseline("MID1").avg_memory_power_w
+        assert governor.budget.min_watts == pytest.approx(expected)
+        assert governor.name == f"Cap-{expected:.2f}W"
+
+    def test_schedule_accepted(self, cap_runner):
+        schedule = BudgetSchedule(steps=((0.0, 30.0), (1000.0, 20.0)))
+        governor = cap_runner.make_cap_governor("MID1", schedule=schedule)
+        assert governor.budget.min_watts == 20.0
+
+
+class TestRunUnderCap:
+    def test_ledger_accounts_every_decided_epoch(self, cap_runner):
+        governor = cap_runner.make_cap_governor("MID1", budget_fraction=0.9)
+        result = cap_runner.run_governor("MID1", governor)
+        summary = governor.cap_summary()
+        assert result.epochs > 0
+        assert summary["epochs_accounted"] > 0
+        assert summary["epochs_decided"] == summary["epochs_accounted"]
+        assert summary["peak_power_w"] > 0
+
+    def test_no_silent_overshoot(self, cap_runner):
+        # The acceptance invariant: either the peak accounted power sits
+        # inside the budget's tolerance band, or violations were booked.
+        governor = cap_runner.make_cap_governor("MID1", budget_fraction=0.75)
+        cap_runner.run_governor("MID1", governor)
+        summary = governor.cap_summary()
+        budget = governor.budget
+        band = budget.min_watts * (1.0 + budget.tolerance_frac)
+        assert (summary["peak_power_w"] <= band + 1e-9
+                or summary["violation_count"] > 0)
+
+    def test_unreachable_budget_counts_infeasible_epochs(self, cap_runner):
+        # 1 mW can never be met: every epoch must take the
+        # throttle-hardest fallback and be counted, and the ledger must
+        # record the (unavoidable) violations rather than hide them.
+        governor = cap_runner.make_cap_governor("MID1", budget_w=0.001)
+        cap_runner.run_governor("MID1", governor)
+        summary = governor.cap_summary()
+        assert governor.infeasible_epochs == summary["epochs_decided"]
+        assert summary["violation_count"] == summary["epochs_accounted"]
+        ladder = governor.allocator.ladder
+        assert all(mhz == ladder.slowest.bus_mhz
+                   for _, mhz in governor.frequency_log)
+
+    def test_generous_budget_never_infeasible(self, cap_runner):
+        governor = cap_runner.make_cap_governor("MID1", budget_w=1e6)
+        cap_runner.run_governor("MID1", governor)
+        assert governor.infeasible_epochs == 0
+        assert governor.cap_summary()["violation_count"] == 0
+
+    def test_telemetry_carries_cap_fields(self, cap_runner):
+        governor = cap_runner.make_cap_governor("MID1", budget_fraction=0.9)
+        sink = ListTelemetry()
+        cap_runner.run_governor("MID1", governor, telemetry=sink)
+        assert sink.records
+        for record in sink.records:
+            assert record["schema"] == 2
+            assert record["budget_w"] == pytest.approx(
+                governor.budget.min_watts)
+            assert record["predicted_power_w"] > 0
+            assert record["cap_feasible"] in (True, False)
+            assert 0.0 < record["min_perf_norm"] <= 1.0
+
+    def test_snapshot_empty_before_first_decision(self, cap_runner):
+        governor = cap_runner.make_cap_governor("MID1", budget_fraction=0.9)
+        assert governor.telemetry_snapshot() == {}
+
+    def test_cap_beats_naive_throttle_on_fairness(self, cap_runner):
+        from repro.core.baselines import StaticFrequencyGovernor
+
+        governor = cap_runner.make_cap_governor("MID1", budget_fraction=0.75)
+        cmp_cap = cap_runner.compare("MID1", governor)
+        slowest = min(CFG.sorted_bus_freqs())
+        cmp_throttle = cap_runner.compare(
+            "MID1", StaticFrequencyGovernor(bus_mhz=slowest))
+        min_perf = 1.0 / (1.0 + cmp_cap.worst_cpi_increase)
+        throttle_perf = 1.0 / (1.0 + cmp_throttle.worst_cpi_increase)
+        assert min_perf >= throttle_perf - 1e-9

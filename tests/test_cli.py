@@ -21,7 +21,7 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for cmd in ("table1", "run", "figure", "timeline", "stats",
-                    "best-static", "sweep", "bench"):
+                    "best-static", "sweep", "bench", "cap", "governors"):
             args = parser.parse_args(
                 [cmd] + (["MID1"] if cmd in ("run", "timeline", "stats",
                                              "best-static") else
@@ -135,10 +135,58 @@ class TestBenchCommand:
                             "--cache-dir", str(tmp_path / "c"))
         assert code == 0
         assert "SMOKE OK" in out
+        assert "cap: capped leg passed" in out
 
     def test_requires_smoke_flag(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["bench", "--cache-dir", str(tmp_path / "c")])
+
+
+class TestCapCommand:
+    def test_cap_smoke_passes(self, capsys, tmp_path):
+        """The acceptance smoke: a 2-point budget sweep whose enforcement
+        and fairness checks must hold (wired into tier-1 here)."""
+        code, out = run_cli(capsys, "cap", "--smoke", "--jobs", "1",
+                            "--cache-dir", str(tmp_path / "c"))
+        assert code == 0
+        assert "CAP SMOKE OK" in out
+        assert "power-cap sweep" in out
+
+    def test_cap_custom_budgets(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "cap", "--mixes", "MID1", "--budgets", "0.9",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "c"),
+            "--instructions", "8000", "--cores", "4")
+        assert code == 0
+        assert "90%" in out        # the budget column
+        assert "min perf" in out   # the fairness column
+
+    def test_cap_rejects_unknown_mix(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cap", "--mixes", "NOPE", "--jobs", "1",
+                  "--cache-dir", str(tmp_path / "c"),
+                  "--instructions", "8000", "--cores", "4"])
+
+
+class TestGovernorsCommand:
+    def test_lists_every_registered_governor(self, capsys):
+        from repro.sim.runner import GOVERNOR_INFO, POLICY_NAMES
+
+        code, out = run_cli(capsys, "governors")
+        assert code == 0
+        for name, _, _ in GOVERNOR_INFO:
+            assert name in out
+        for name in POLICY_NAMES:
+            assert name in out
+        assert "MemScale/channel" in out
+
+    def test_unknown_policy_error_names_alternatives(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "MID1", "--policy", "Bogus",
+                  "--instructions", "8000"])
+        message = str(exc.value)
+        assert "Bogus" in message
+        assert "MemScale" in message  # the listing, not a bare KeyError
 
 
 class TestValidateFlag:

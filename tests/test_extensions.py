@@ -143,3 +143,55 @@ class TestPerChannelGovernor:
         gov.on_profile_end(delta, mc, CFG.policy.epoch_ns)
         if mc.freq.bus_mhz == 200.0:
             assert gov.per_channel_drops == 0
+
+
+class TestRefinementEdgeCases:
+    """Degenerate profiles: empty counter sets and single-app mixes."""
+
+    def test_empty_profile_never_refines(self):
+        # No accesses at all (idle epoch): refinement must bail before
+        # dividing by the zero access total.
+        gov = make_governor()
+        engine, mc = make_controller()
+        delta = make_delta(CFG, tlm_per_core=0.0, reads=0.0, writes=0.0,
+                           busy_frac=0.0, bto=0.0, cto=0.0)
+        gov.on_profile_end(delta, mc, CFG.policy.epoch_ns)
+        assert gov.per_channel_drops == 0
+        assert len(set(mc.channel_bus_mhz_list())) == 1
+
+    def test_zero_utilization_with_accesses_never_refines(self):
+        # Accesses recorded but no measured channel busy time (can
+        # happen on a profile slice boundary): mean utilization is 0,
+        # so no channel can qualify as "well below the mean".
+        gov = make_governor()
+        engine, mc = make_controller()
+        delta = make_delta(CFG, busy_frac=0.0)
+        gov.on_profile_end(delta, mc, CFG.policy.epoch_ns)
+        assert gov.per_channel_drops == 0
+
+    def test_single_app_mix_end_to_end(self):
+        # One core / one app: the per-core feasibility reduction must
+        # work on a length-1 vector.
+        gov = make_governor(n_cores=1)
+        engine = EventEngine()
+        mc = MemoryController(engine, CFG, refresh_enabled=False,
+                              n_cores=1)
+        delta = make_delta(CFG, n_cores=1)
+        gov.on_profile_end(delta, mc, CFG.policy.epoch_ns)
+        assert len(gov.policy.decisions) == 1
+        assert len(gov.policy.decisions[-1].predicted_cpi) == 1
+
+    def test_single_channel_config(self):
+        # A 1-channel organization: the "coldest channel" set is the
+        # whole machine; dropping it below the mean is impossible, so
+        # the governor must hold a uniform frequency.
+        cfg = scaled_config().with_org(channels=1, dimms_per_channel=8)
+        energy = EnergyModel(cfg, rest_power_w=40.0)
+        policy = MemScalePolicy(cfg, energy, n_cores=4)
+        gov = PerChannelMemScaleGovernor(policy)
+        engine = EventEngine()
+        mc = MemoryController(engine, cfg, refresh_enabled=False, n_cores=4)
+        delta = make_delta(cfg)
+        gov.on_profile_end(delta, mc, cfg.policy.epoch_ns)
+        assert gov.per_channel_drops == 0
+        assert len(mc.channel_bus_mhz_list()) == 1

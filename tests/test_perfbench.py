@@ -128,3 +128,36 @@ def test_git_sha_shape():
     sha = perfbench.git_sha()
     assert sha == "unknown" or (len(sha) == 40
                                 and all(c in "0123456789abcdef" for c in sha))
+
+
+def test_no_baseline_note_printed_on_first_run(tmp_path, capsys):
+    out = tmp_path / "b.json"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE)
+    printed = capsys.readouterr().out
+    assert "no baseline yet" in printed
+    assert "gate skipped" in printed
+
+
+def test_gate_report_shows_both_sides(tmp_path, capsys):
+    out = tmp_path / "b.json"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
+    base = json.loads(out.read_text())["baseline"]["smoke"]["events_per_sec"]
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE)
+    printed = capsys.readouterr().out
+    # Both the current and the baseline events/sec, not just a ratio.
+    assert f"baseline {base:.0f} events/sec" in printed
+    assert "current" in printed and "floor" in printed
+
+
+def test_gate_failure_names_both_numbers(tmp_path):
+    out = tmp_path / "b.json"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
+    data = json.loads(out.read_text())
+    data["baseline"]["smoke"]["events_per_sec"] *= 1000.0
+    out.write_text(json.dumps(data))
+    with pytest.raises(PerfRegressionError) as exc:
+        run_perfbench(output=str(out), repeats=1, scenarios=SMOKE,
+                      quiet=True)
+    message = str(exc.value)
+    assert "current" in message and "baseline" in message
+    assert "events/sec" in message

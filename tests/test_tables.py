@@ -80,3 +80,44 @@ class TestSavingsTable:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             savings_table({})
+
+
+class TestCapSummaryTable:
+    ROW = {
+        "workload": "MID1", "governor": "Cap-20.00W",
+        "budget_fraction": 0.9, "budget_w": 20.0, "avg_power_w": 19.2,
+        "violations": 0, "time_over_frac": 0.0, "infeasible_epochs": 1,
+        "min_perf": 0.95, "worst_cpi_increase": 0.05,
+        "system_savings": 0.08,
+    }
+
+    def test_renders_all_columns(self):
+        from repro.analysis import cap_summary_table
+        out = cap_summary_table([self.ROW])
+        assert "power-cap sweep" in out
+        assert "90%" in out
+        assert "20.00" in out
+        assert "0.950" in out
+        assert "+5.0%" in out and "+8.0%" in out
+
+    def test_empty_rejected(self):
+        from repro.analysis import cap_summary_table
+        with pytest.raises(ValueError, match="no cap results"):
+            cap_summary_table([])
+
+    def test_none_budget_columns_render_as_dash(self):
+        from repro.analysis import cap_summary_table
+        throttle = dict(self.ROW, governor="Static-200MHz",
+                        budget_fraction=None, budget_w=None,
+                        violations=None, time_over_frac=None,
+                        infeasible_epochs=None)
+        out = cap_summary_table([throttle], title=None)
+        row_line = out.splitlines()[-1]
+        assert row_line.split().count("-") >= 5
+
+    def test_single_row_single_app_mix(self):
+        from repro.analysis import cap_summary_table
+        row = dict(self.ROW, workload="ILP1", min_perf=1.0)
+        out = cap_summary_table([row])
+        assert "ILP1" in out
+        assert "1.000" in out

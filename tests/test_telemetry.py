@@ -65,6 +65,66 @@ class TestSchema:
         with pytest.raises(ValueError, match="schema"):
             validate_epoch_record(record)
 
+    def test_cap_fields_default_to_null(self):
+        record = epoch_record(
+            workload="MID1", governor="MemScale", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        for name in ("budget_w", "predicted_power_w", "cap_feasible",
+                     "min_perf_norm"):
+            assert record[name] is None
+
+    def test_cap_fields_flow_from_governor_state(self):
+        record = epoch_record(
+            workload="MID1", governor="Cap-20.00W", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[],
+            governor_state={"budget_w": 20.0, "predicted_power_w": 18.5,
+                            "cap_feasible": True, "min_perf_norm": 0.97})
+        assert record["budget_w"] == 20.0
+        assert record["cap_feasible"] is True
+        validate_epoch_record(record)
+
+    def test_v1_records_still_accepted(self):
+        # Historical files written before the cap fields existed: the
+        # loader must accept them without the four v2 fields.
+        record = epoch_record(
+            workload="MID1", governor="MemScale", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        for name in ("budget_w", "predicted_power_w", "cap_feasible",
+                     "min_perf_norm"):
+            del record[name]
+        record["schema"] = 1
+        validate_epoch_record(record)
+
+    def test_v2_record_missing_cap_field_rejected(self):
+        record = epoch_record(
+            workload="MID1", governor="MemScale", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        del record["budget_w"]
+        with pytest.raises(ValueError, match="missing"):
+            validate_epoch_record(record)
+
+    def test_bad_cap_field_types_rejected(self):
+        record = epoch_record(
+            workload="MID1", governor="Cap-20.00W", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        record["budget_w"] = "twenty"
+        with pytest.raises(ValueError, match="budget_w"):
+            validate_epoch_record(record)
+        record["budget_w"] = None
+        record["cap_feasible"] = 1.5
+        with pytest.raises(ValueError, match="cap_feasible"):
+            validate_epoch_record(record)
+
 
 class TestSimulatorEmission:
     def test_disabled_by_default(self, runner):
