@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-perf sweep validate clean-cache
+.PHONY: test bench-smoke bench bench-perf bench-perf-smoke sweep \
+	validate cache-stats clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +28,16 @@ bench:
 # committed baseline (same machine only).
 bench-perf:
 	$(PYTHON) -m repro perfbench
+
+# Non-gating variant for CI smoke: prints the baseline-vs-current
+# comparison and refreshes BENCH_perf.json (uploaded as an artifact)
+# but never fails — shared-runner numbers are too noisy to gate. The
+# 10% same-machine gate stays a local concern (`make bench-perf`).
+bench-perf-smoke:
+	$(PYTHON) -m repro perfbench --no-gate
+
+cache-stats:
+	$(PYTHON) -m repro cache
 
 sweep:
 	$(PYTHON) -m repro sweep --mixes ILP1 MID1 MID2 MEM1 \

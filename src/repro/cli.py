@@ -9,6 +9,7 @@ Every experiment is reachable from the shell::
     python -m repro governors
     python -m repro bench --smoke
     python -m repro perfbench
+    python -m repro cache --prune
     python -m repro figure 5
     python -m repro timeline MID3
     python -m repro stats MEM1
@@ -60,6 +61,8 @@ def _make_runner(args) -> ExperimentRunner:
         config = config.with_policy(cpi_bound=args.bound)
     if getattr(args, "validate", False):
         config = config.replace(validate_protocol=True)
+    if getattr(args, "no_fast_forward", False):
+        config = config.replace(fast_forward=False)
     return ExperimentRunner(
         config=config,
         settings=RunnerSettings(cores=args.cores,
@@ -75,6 +78,13 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
                         help="core count, multiple of 4 (default 16)")
     parser.add_argument("--seed", type=int, default=2011,
                         help="trace generator seed")
+
+
+def _add_ff_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-fast-forward", action="store_true",
+                        help="disable idle-period fast-forward (results are "
+                             "byte-identical either way; this is the "
+                             "debugging escape hatch)")
 
 
 def _add_cache_args(parser: argparse.ArgumentParser,
@@ -151,6 +161,8 @@ def cmd_sweep(args) -> None:
         config = config.with_policy(cpi_bound=args.bound)
     if args.validate:
         config = config.replace(validate_protocol=True)
+    if args.no_fast_forward:
+        config = config.replace(fast_forward=False)
     settings = RunnerSettings(cores=args.cores,
                               instructions_per_core=args.instructions,
                               seed=args.seed)
@@ -237,6 +249,8 @@ def cmd_cap(args) -> None:
     config = scaled_config()
     if args.validate:
         config = config.replace(validate_protocol=True)
+    if args.no_fast_forward:
+        config = config.replace(fast_forward=False)
     cache_dir = None if args.no_cache else args.cache_dir
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
@@ -287,6 +301,8 @@ def cmd_bench(args) -> None:
     config = scaled_config()
     if args.validate:
         config = config.replace(validate_protocol=True)
+    if args.no_fast_forward:
+        config = config.replace(fast_forward=False)
     settings = RunnerSettings(cores=4, instructions_per_core=8_000, seed=2011)
     cache_dir = None if args.no_cache else args.cache_dir
     start = time.perf_counter()
@@ -343,12 +359,33 @@ def cmd_perfbench(args) -> None:
         run_perfbench(output=args.output, repeats=args.repeats,
                       scenarios=args.scenarios,
                       update_baseline=args.update_baseline,
-                      max_regression=args.max_regression)
+                      max_regression=args.max_regression,
+                      fast_forward=not args.no_fast_forward,
+                      gate=not args.no_gate)
     except PerfRegressionError as exc:
         raise SystemExit(f"PERF REGRESSION: {exc}")
     except ValueError as exc:
         raise SystemExit(str(exc))
-    print("perfbench: throughput within the regression gate")
+    if args.no_gate:
+        print("perfbench: regression gate disabled (report only)")
+    else:
+        print("perfbench: throughput within the regression gate")
+
+
+def cmd_cache(args) -> None:
+    cache = ExperimentCache(args.cache_dir)
+    stats = cache.stats()
+    print(f"cache root       : {stats['root']}")
+    print(f"trace entries    : {stats['trace_entries']}")
+    if stats["legacy_trace_entries"]:
+        print(f"  legacy (.npz)  : {stats['legacy_trace_entries']}")
+    print(f"run entries      : {stats['run_entries']}")
+    print(f"on-disk size     : {stats['total_bytes'] / 1e6:.2f} MB "
+          f"({stats['total_bytes']} bytes)")
+    if args.prune:
+        removed = cache.prune()
+        print(f"pruned {removed['files_removed']} files "
+              f"({removed['bytes_removed'] / 1e6:.2f} MB)")
 
 
 def cmd_figure(args) -> None:
@@ -457,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "timing/invariant violation)")
     _add_scale_args(p)
     _add_cache_args(p, default=None)
+    _add_ff_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep",
@@ -478,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arm the DDR3 protocol validator in every worker")
     _add_scale_args(p)
     _add_cache_args(p)
+    _add_ff_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("cap",
@@ -502,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arm the DDR3 protocol validator in every worker")
     _add_scale_args(p)
     _add_cache_args(p)
+    _add_ff_arg(p)
     p.set_defaults(func=cmd_cap)
 
     p = sub.add_parser("governors",
@@ -517,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also arm the DDR3 protocol validator in the "
                         "smoke sweep itself")
     _add_cache_args(p)
+    _add_ff_arg(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("perfbench",
@@ -534,7 +575,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-regression", type=float, default=0.10,
                    help="max fractional throughput drop vs baseline "
                         "before failing (default 0.10)")
+    p.add_argument("--no-gate", action="store_true",
+                   help="report baseline vs current but never fail "
+                        "(the CI smoke leg on shared runners)")
+    _add_ff_arg(p)
     p.set_defaults(func=cmd_perfbench)
+
+    p = sub.add_parser("cache",
+                       help="show on-disk experiment-cache statistics")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help=f"cache root (default: {DEFAULT_CACHE_DIR})")
+    p.add_argument("--prune", action="store_true",
+                   help="delete every cached entry after printing stats")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int)

@@ -289,6 +289,13 @@ class SystemConfig:
     #: observer only — simulated results are identical either way, so the
     #: experiment cache deliberately ignores this flag.
     validate_protocol: bool = False
+    #: Batch idle-period housekeeping (refresh ticks, powerdown
+    #: residency) analytically instead of event by event
+    #: (memsim/controller.py). Results are byte-identical on or off —
+    #: pinned by the golden snapshot and a property test — so the
+    #: experiment cache ignores this flag too; it exists as an escape
+    #: hatch and for measuring the speedup itself.
+    fast_forward: bool = True
 
     @property
     def max_bus_freq_mhz(self) -> float:

@@ -10,16 +10,38 @@ trace format: for each core, a sequence of records
 meaning "commit ``gap_instructions`` instructions, then miss the LLC at
 ``read_line_addr``; if ``writeback_line_addr >= 0``, the miss also evicts
 a dirty line that is written back". Traces are stored as parallel numpy
-arrays and can be saved/loaded as ``.npz`` files.
+arrays and support two on-disk formats:
+
+* :meth:`WorkloadTrace.save` / :meth:`WorkloadTrace.load` — a
+  compressed ``.npz`` archive, the portable interchange format;
+* :meth:`WorkloadTrace.save_columnar` /
+  :meth:`WorkloadTrace.load_columnar` — one *uncompressed* flat
+  ``.npy`` (a ``(3, total_records)`` int64 matrix: gaps, read
+  addresses, writeback addresses, with every core's records
+  concatenated) plus a small JSON sidecar mapping cores to column
+  ranges. Compressed archive members cannot be memory-mapped, so this
+  is the format the experiment cache stores: workers of a parallel
+  sweep ``np.load(..., mmap_mode="r")`` the one file and share its
+  pages through the OS page cache instead of each decompressing (or
+  regenerating) a private copy — the zero-copy fan-out path.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Sequence
 
 import numpy as np
+
+#: Version tag of the columnar (.npy + sidecar) trace layout.
+COLUMNAR_TRACE_VERSION = 1
+
+
+def columnar_sidecar_path(path: "Path | str") -> Path:
+    """The JSON sidecar accompanying a columnar trace file."""
+    return Path(str(path) + ".meta.json")
 
 
 @dataclass
@@ -130,3 +152,58 @@ class WorkloadTrace:
                 for i in range(len(names))
             ]
             return cls(name=str(data["mix_name"][0]), cores=cores)
+
+    def save_columnar(self, path: "Path | str") -> None:
+        """Serialize as one flat uncompressed ``.npy`` + JSON sidecar.
+
+        The matrix layout is row-major ``(3, total_records)`` — gaps,
+        read addresses, writeback addresses — so each per-core slice of
+        a row is contiguous and loading with ``mmap_mode="r"`` hands the
+        replayer views without copying or decompressing anything.
+        """
+        total = sum(len(c) for c in self.cores)
+        data = np.empty((3, total), dtype=np.int64)
+        meta_cores = []
+        offset = 0
+        for core in self.cores:
+            n = len(core)
+            data[0, offset:offset + n] = core.gaps
+            data[1, offset:offset + n] = core.read_addrs
+            data[2, offset:offset + n] = core.wb_addrs
+            meta_cores.append({"app_name": core.app_name,
+                               "app_id": core.app_id,
+                               "offset": offset, "count": n})
+            offset += n
+        np.save(str(path), data, allow_pickle=False)
+        sidecar = columnar_sidecar_path(path)
+        sidecar.write_text(json.dumps({
+            "version": COLUMNAR_TRACE_VERSION,
+            "name": self.name,
+            "cores": meta_cores,
+        }))
+
+    @classmethod
+    def load_columnar(cls, path: "Path | str",
+                      mmap: bool = True) -> "WorkloadTrace":
+        """Load a columnar trace; with ``mmap`` (the default) the core
+        arrays are read-only views of a shared memory map."""
+        meta = json.loads(columnar_sidecar_path(path).read_text())
+        if meta.get("version") != COLUMNAR_TRACE_VERSION:
+            raise ValueError(
+                f"unsupported columnar trace version: {meta.get('version')}")
+        data = np.load(str(path), mmap_mode="r" if mmap else None,
+                       allow_pickle=False)
+        if data.ndim != 2 or data.shape[0] != 3:
+            raise ValueError(f"bad columnar trace shape: {data.shape}")
+        cores = []
+        for entry in meta["cores"]:
+            lo = int(entry["offset"])
+            hi = lo + int(entry["count"])
+            if hi > data.shape[1]:
+                raise ValueError("columnar trace sidecar out of range")
+            cores.append(CoreTrace(app_name=str(entry["app_name"]),
+                                   app_id=int(entry["app_id"]),
+                                   gaps=data[0, lo:hi],
+                                   read_addrs=data[1, lo:hi],
+                                   wb_addrs=data[2, lo:hi]))
+        return cls(name=str(meta["name"]), cores=cores)

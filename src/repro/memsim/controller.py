@@ -15,6 +15,7 @@ from the CPU model; and implements the mechanisms of Section 3.1:
 
 from __future__ import annotations
 
+from heapq import heapreplace
 from typing import Callable, Dict, List, Optional
 
 from repro.config import SystemConfig
@@ -33,7 +34,6 @@ from repro.memsim.validate import ProtocolValidator
 #: Writeback queue capacity per channel; reads lose priority when the
 #: occupancy reaches half of this (Section 4.1).
 WRITEBACK_QUEUE_CAPACITY = 32
-
 
 class MemoryController:
     """The simulated memory subsystem (MC + channels + DIMMs)."""
@@ -102,6 +102,12 @@ class MemoryController:
         burst = self._freq.burst_ns
         for channel in self.channels:
             channel.burst_ns = burst
+
+        #: idle periods batched analytically (diagnostic)
+        self.fast_forward_batches = 0
+        self._t_refi_ns = self._timing.table.t_refi_ns
+        if config.fast_forward:
+            engine.set_fast_forward(self._fast_forward_idle)
 
         if config.validate_protocol:
             self.attach_validator(ProtocolValidator(config))
@@ -369,6 +375,82 @@ class MemoryController:
         if extra_ns < 0:
             raise ValueError("extra device latency must be non-negative")
         self._device_extra_ns = extra_ns
+
+    # -- idle-period fast-forward -------------------------------------------
+
+    def _fast_forward_idle(self, head: list, bound_ns: float) -> bool:
+        """Absorb one idle refresh timer tick analytically.
+
+        Invoked by the engine when a housekeeping entry surfaces at the
+        head of the queue. Preconditions: the head is a rank's refresh
+        timer, no request anywhere between MC submit and burst
+        completion (``_in_flight == 0`` — which implies every queue is
+        empty), the rank's banks quiescent, no refresh pending or in
+        progress, and the tick due before the earliest workload-driven
+        event (or the run-loop bound). The tick's side effects —
+        counter updates, residency slices, the timer re-post, a
+        completion event when it crosses the workload horizon — are
+        applied with the exact sequence numbers event dispatch would
+        have allocated at this very point, so the heap, the counters,
+        and all later tie-breaking are byte-identical to normal
+        execution. An idle window is consumed as a run of these
+        absorptions: each re-posted timer surfaces next and is absorbed
+        in turn until the horizon, without dispatch overhead.
+        """
+        rank = head[3]
+        if rank is True or self._in_flight:
+            return False  # plain housekeeping (refresh completions etc.)
+        t = head[0]
+        if (rank._refresh_due or rank._active_banks > 0
+                or rank.refresh_busy_until > t):
+            return False  # the tick would defer, not issue
+        engine = self._engine
+        limit = engine.workload_horizon(bound_ns)
+        if t >= limit:
+            return False
+        # Absorb a *run* of consecutive idle ticks (all ranks, heap
+        # order) in one call: during the run nothing workload-driven is
+        # posted, so ``limit`` stays valid, and the per-tick loop below
+        # only touches hoisted locals plus one heapreplace. Pop order
+        # depends solely on entry contents ``(time, seq)`` — never on
+        # the heap's internal layout — so replacing pop-then-push with
+        # heapreplace cannot perturb results.
+        queue = engine._queue
+        refreshes = self.counters.refreshes
+        t_refi = self._t_refi_ns
+        v = self.validator
+        skipped_total = 0
+        ticks = 0
+        while True:
+            # the sequence numbers this tick's `_refresh_timer` would
+            # have allocated: timer re-post first, completion second
+            seq = engine._seq
+            engine._seq = seq + 2
+            if v is None:
+                skipped = rank.ff_refresh_tick_fast(t, seq + 2, limit)
+            else:
+                v.on_fast_forward(t, limit, 0)
+                skipped = rank.ff_refresh_tick(t, seq + 2, limit)
+            entry = [t + t_refi, seq + 1, rank._refresh_timer, rank]
+            rank._timer_entry = entry
+            heapreplace(queue, entry)  # drop absorbed head, land re-post
+            # same bytes as the event path's record_refresh(rank_index)
+            refreshes[rank.global_rank_index] += 1.0
+            skipped_total += skipped
+            ticks += 1
+            head = queue[0]
+            if len(head) != 4:
+                break
+            rank = head[3]
+            if rank is True:
+                break
+            t = head[0]
+            if (t >= limit or rank._refresh_due or rank._active_banks > 0
+                    or rank.refresh_busy_until > t):
+                break
+        engine._events_fast_forwarded += skipped_total
+        self.fast_forward_batches += ticks
+        return True
 
     # -- accounting -------------------------------------------------------------------
 

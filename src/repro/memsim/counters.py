@@ -264,6 +264,21 @@ class CounterFile:
     def record_refresh(self, rank: int) -> None:
         self.refreshes[rank] += 1.0
 
+    def record_refresh_batch(self, rank: int, count: int) -> None:
+        """Account ``count`` refreshes skipped by the fast-forward path.
+
+        A single add of the (integer-valued) batch size is bit-identical
+        to ``count`` unit adds — integers this small are exact in float64
+        — so the analytic path may lump the REF commands of one idle
+        period. Per-state *residency* is deliberately NOT batched this
+        way: those additions are non-integer and order-sensitive, so the
+        fast-forward path replays them slice by slice through
+        :meth:`account_rank_state`.
+        """
+        if count < 0:
+            raise ValueError(f"negative refresh batch: {count}")
+        self.refreshes[rank] += float(count)
+
     # -- snapshot / delta -------------------------------------------------
 
     def snapshot(self, time_ns: float) -> CounterSnapshot:

@@ -27,13 +27,35 @@ callback slot in place (a decrease-key-free lazy deletion), and every
 queue consumer skips dead entries as they surface at the head — so a
 cancelled head with an otherwise-empty queue behaves exactly like an
 empty queue, the case ``tests/test_engine.py::TestCancelledHead`` pins
-down.
+down. Tombstones are counted, and when they outnumber the live entries
+the heap is compacted in place (the queue list's identity is preserved
+because the run loops hold a local reference to it).
+
+Fast-forward
+------------
+Periodic *housekeeping* events (the rank refresh timers and their
+completions) are tagged by length: they are pushed as 4-element
+``[time, seq, callback, True]`` lists, while workload-driven entries
+stay 3 elements long. When a housekeeping entry surfaces at the head of
+the queue inside :meth:`run_until` / :meth:`run_until_stopped` and a
+fast-forward delegate is installed (see :meth:`set_fast_forward`), the
+delegate gets a chance to batch the idle period analytically — replaying
+the skipped events' exact counter and sequence-number effects — instead
+of grinding through them one heap pop at a time. The delegate returns
+True when it consumed work (the loop then re-examines the head) and
+False to fall back to normal execution. Skipped events are tallied in
+:attr:`events_fast_forwarded`; ``events_processed +
+events_fast_forwarded`` is therefore the simulated-event count
+independent of whether fast-forward is enabled.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
+
+#: Entries below this queue length are never worth compacting.
+_COMPACT_MIN = 8
 
 
 class SimulationError(RuntimeError):
@@ -45,13 +67,15 @@ class Event:
 
     Wraps the engine's internal ``[time, seq, callback]`` heap entry;
     cancelling tombstones the entry in place (index 2 becomes None), so
-    the heap never needs a scan or re-sift.
+    the heap never needs a scan or re-sift. The owning engine is kept so
+    cancellation feeds the tombstone-compaction accounting.
     """
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_engine")
 
-    def __init__(self, entry: list):
+    def __init__(self, entry: list, engine: Optional["EventEngine"] = None):
         self._entry = entry
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -69,19 +93,34 @@ class Event:
 
     def cancel(self) -> None:
         """Prevent the callback from running. Safe to call repeatedly."""
+        if self._entry[2] is None:
+            return
         self._entry[2] = None
+        if self._engine is not None:
+            self._engine.note_tombstone()
+            self._engine._horizon = None
 
 
 class EventEngine:
     """A deterministic discrete-event scheduler over float-ns time."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_events_processed")
+    __slots__ = ("_now", "_queue", "_seq", "_events_processed",
+                 "_events_fast_forwarded", "_fast_forward", "_tombstones",
+                 "_horizon")
 
     def __init__(self, start_time_ns: float = 0.0):
         self._now = start_time_ns
         self._queue: list = []
         self._seq = 0
         self._events_processed = 0
+        self._events_fast_forwarded = 0
+        self._fast_forward: Optional[Callable[[list, float], bool]] = None
+        self._tombstones = 0
+        # Cached earliest live workload event time (None = recompute).
+        # Invalidated whenever a workload entry is posted, dispatched,
+        # or cancelled; going stale-low is safe (it only shortens a
+        # fast-forward reach), going stale-high never happens.
+        self._horizon: Optional[float] = None
 
     @property
     def now(self) -> float:
@@ -92,6 +131,12 @@ class EventEngine:
     def events_processed(self) -> int:
         """Number of callbacks executed so far (cancelled ones excluded)."""
         return self._events_processed
+
+    @property
+    def events_fast_forwarded(self) -> int:
+        """Events skipped by the fast-forward path but accounted
+        analytically — they *did* happen in simulated time."""
+        return self._events_fast_forwarded
 
     @property
     def pending(self) -> int:
@@ -112,12 +157,43 @@ class EventEngine:
             )
         self._seq = seq = self._seq + 1
         heappush(self._queue, [time_ns, seq, callback])
+        self._horizon = None
 
     def post(self, delay_ns: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` after ``delay_ns`` ns, handle-free."""
         if delay_ns < 0:
             raise SimulationError(f"negative delay: {delay_ns}")
         self.post_at(self._now + delay_ns, callback)
+
+    def post_housekeeping_at(self, time_ns: float,
+                             callback: Callable[[], None],
+                             tag: object = True) -> list:
+        """Like :meth:`post_at`, but tag the entry as periodic
+        housekeeping and return the raw heap entry so the scheduler of
+        the event can tombstone it later.
+
+        ``tag`` fills the entry's fourth slot (what run loops detect by
+        ``len``): ``True`` for plain housekeeping, or any scheduler-
+        chosen object the fast-forward delegate can use to recognize an
+        absorbable head without introspecting the callback (the memory
+        controller passes the owning rank of each refresh timer).
+        """
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns: current time is {self._now} ns"
+            )
+        self._seq = seq = self._seq + 1
+        entry = [time_ns, seq, callback, tag]
+        heappush(self._queue, entry)
+        return entry
+
+    def post_housekeeping(self, delay_ns: float,
+                          callback: Callable[[], None],
+                          tag: object = True) -> list:
+        """Housekeeping-tagged :meth:`post`; returns the raw heap entry."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self.post_housekeeping_at(self._now + delay_ns, callback, tag)
 
     def schedule_at(self, time_ns: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute time ``time_ns``."""
@@ -128,13 +204,116 @@ class EventEngine:
         self._seq = seq = self._seq + 1
         entry = [time_ns, seq, callback]
         heappush(self._queue, entry)
-        return Event(entry)
+        self._horizon = None
+        return Event(entry, self)
 
     def schedule(self, delay_ns: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` after ``delay_ns`` nanoseconds."""
         if delay_ns < 0:
             raise SimulationError(f"negative delay: {delay_ns}")
         return self.schedule_at(self._now + delay_ns, callback)
+
+    # -- fast-forward support ------------------------------------------------
+
+    def set_fast_forward(self, delegate: Optional[Callable[[list, float],
+                                                           bool]]
+                         ) -> None:
+        """Install (or clear) the idle-period fast-forward delegate.
+
+        ``delegate(head, bound_ns)`` is invoked by the run loops when a
+        housekeeping-tagged entry surfaces at the head of the queue and
+        is due within the loop's bound. It must either absorb the head
+        analytically — applying its side effects, allocating the exact
+        sequence numbers dispatch would have, and removing it via
+        :meth:`pop_absorbed_head` (or a tombstone) — and return True,
+        or touch nothing and return False.
+        """
+        self._fast_forward = delegate
+
+    def reserve_seq(self) -> int:
+        """Consume and return the next sequence number.
+
+        Used by the fast-forward path to mirror the sequence numbers the
+        skipped events would have allocated, so tie ordering of every
+        later event is unchanged.
+        """
+        self._seq += 1
+        return self._seq
+
+    def reserve_seq_block(self, n: int) -> int:
+        """Consume ``n`` sequence numbers at once; returns the value
+        *before* the first reserved one (the block is ``base+1 ..
+        base+n``, matching ``n`` successive :meth:`reserve_seq` calls).
+        One call instead of ``n`` keeps the fast-forward hot loop cheap.
+        """
+        base = self._seq
+        self._seq = base + n
+        return base
+
+    def push_reserved(self, time_ns: float, seq: int,
+                      callback: Callable[[], None],
+                      tag: object = True) -> list:
+        """Push a housekeeping entry carrying an already-reserved ``seq``.
+
+        The fast-forward delegate uses this to leave behind exactly the
+        heap entries (timer re-posts, a refresh completion that crosses
+        the jump target) the skipped events would have pushed, with the
+        sequence numbers they would have carried. ``tag`` is the same
+        fourth-slot marker :meth:`post_housekeeping_at` takes.
+        """
+        entry = [time_ns, seq, callback, tag]
+        heappush(self._queue, entry)
+        return entry
+
+    def workload_horizon(self, bound_ns: float) -> float:
+        """Earliest live non-housekeeping event time, capped at
+        ``bound_ns`` — how far a fast-forward batch may reach.
+
+        The uncapped minimum is cached between workload-set changes, so
+        the per-tick fast-forward path pays a queue scan only once per
+        idle window instead of once per absorbed tick.
+        """
+        horizon = self._horizon
+        if horizon is None:
+            horizon = float("inf")
+            for entry in self._queue:
+                if (len(entry) == 3 and entry[2] is not None
+                        and entry[0] < horizon):
+                    horizon = entry[0]
+            self._horizon = horizon
+        return horizon if horizon < bound_ns else bound_ns
+
+    def pop_absorbed_head(self) -> None:
+        """Drop the queue head the fast-forward delegate just absorbed
+        analytically (it is neither dispatched nor counted processed)."""
+        heappop(self._queue)
+
+    def count_fast_forwarded(self, n: int) -> None:
+        """Record ``n`` events as analytically skipped."""
+        self._events_fast_forwarded += n
+
+    # -- tombstone accounting / compaction -----------------------------------
+
+    def tombstone(self, entry: list) -> None:
+        """Cancel a raw heap entry (fast-forward timer replacement)."""
+        if entry[2] is None:
+            return
+        entry[2] = None
+        self.note_tombstone()
+
+    def note_tombstone(self) -> None:
+        """Register one new tombstone; compact when they dominate.
+
+        Compaction rewrites the queue *in place* (slice assignment +
+        re-heapify) so run loops holding a local reference to the list
+        keep seeing the live heap.
+        """
+        self._tombstones += 1
+        queue = self._queue
+        if len(queue) >= _COMPACT_MIN and self._tombstones * 2 > len(queue):
+            queue[:] = [e for e in queue if e[2] is not None]
+            heapify(queue)
+            self._tombstones = 0
 
     # -- execution -----------------------------------------------------------
 
@@ -146,6 +325,8 @@ class EventEngine:
             if head[2] is not None:
                 return head[0]
             heappop(queue)
+            if self._tombstones:
+                self._tombstones -= 1
         return None
 
     def step(self) -> bool:
@@ -154,10 +335,15 @@ class EventEngine:
         advanced in that case."""
         queue = self._queue
         while queue:
-            time_ns, _, callback = heappop(queue)
+            entry = heappop(queue)
+            callback = entry[2]
             if callback is None:
+                if self._tombstones:
+                    self._tombstones -= 1
                 continue
-            self._now = time_ns
+            if len(entry) == 3:
+                self._horizon = None
+            self._now = entry[0]
             self._events_processed += 1
             callback()
             return True
@@ -174,14 +360,21 @@ class EventEngine:
                 f"cannot run backwards to {time_ns} ns from {self._now} ns"
             )
         queue = self._queue
+        ff = self._fast_forward
         while queue:
             head = queue[0]
             callback = head[2]
             if callback is None:
                 heappop(queue)
+                if self._tombstones:
+                    self._tombstones -= 1
                 continue
             if head[0] > time_ns:
                 break
+            if len(head) == 3:
+                self._horizon = None
+            elif ff is not None and ff(head, time_ns):
+                continue
             heappop(queue)
             self._now = head[0]
             self._events_processed += 1
@@ -206,14 +399,21 @@ class EventEngine:
         if should_stop():
             return True
         queue = self._queue
+        ff = self._fast_forward
         while queue:
             head = queue[0]
             callback = head[2]
             if callback is None:
                 heappop(queue)
+                if self._tombstones:
+                    self._tombstones -= 1
                 continue
             if head[0] > time_ns:
                 break
+            if len(head) == 3:
+                self._horizon = None
+            elif ff is not None and ff(head, time_ns):
+                continue
             heappop(queue)
             self._now = head[0]
             self._events_processed += 1

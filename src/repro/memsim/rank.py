@@ -33,7 +33,7 @@ class Rank:
         "powerdown_mode", "_banks", "validator", "_state", "_state_since",
         "_recent_activates", "refresh_busy_until", "_refresh_due",
         "_refresh_enabled", "_t_rrd_ns", "_t_faw_ns", "_t_refi_ns",
-        "_t_rfc_ns", "_active_banks", "_open_rows",
+        "_t_rfc_ns", "_active_banks", "_open_rows", "_timer_entry",
     )
 
     def __init__(self, engine: EventEngine, timing: TimingCalculator,
@@ -67,12 +67,19 @@ class Rank:
         self.refresh_busy_until = -1.0
         self._refresh_due = False
         self._refresh_enabled = refresh_enabled
+        #: live heap entry of the next refresh-timer tick; tracked so the
+        #: fast-forward path can consume the tick analytically (None
+        #: when refresh is disabled). Timer entries carry this rank as
+        #: their housekeeping tag so the fast-forward delegate can
+        #: recognize an absorbable queue head with one list index.
+        self._timer_entry = None
         if refresh_enabled:
             # Stagger the first refresh across ranks to avoid lock-step.
             # The offset pulls the first tick *earlier* so that every
             # rank's first refresh lands within one tREFI of time zero.
             offset = (global_rank_index % 16) / 16.0 * self._t_refi_ns
-            engine.post(self._t_refi_ns - offset, self._refresh_timer)
+            self._timer_entry = engine.post_housekeeping(
+                self._t_refi_ns - offset, self._refresh_timer, self)
 
     # -- wiring -----------------------------------------------------------
 
@@ -102,11 +109,27 @@ class Rank:
     def _transition(self, new_state: RankPowerState) -> None:
         if new_state is self._state:
             return
+        self._transition_at(new_state, self._engine.now)
+
+    def _transition_at(self, new_state: RankPowerState,
+                       now_ns: float) -> None:
+        """State change with an explicit timestamp.
+
+        The event path always passes ``engine.now``; the fast-forward
+        path passes the time the skipped event would have executed, so
+        the per-state residency integrals receive the same additions in
+        the same order as normal execution (float addition is not
+        associative, and the golden snapshot pins exact bytes).
+        """
         v = self.validator
         if v is not None:
             v.on_rank_state(self.global_rank_index, self._state, new_state,
-                            self._engine.now, self._active_banks > 0)
-        self.sync_accounting()
+                            now_ns, self._active_banks > 0)
+        elapsed = now_ns - self._state_since
+        if elapsed > 0:
+            self._counters.account_rank_state(self.global_rank_index,
+                                              self._state, elapsed)
+        self._state_since = now_ns
         self._state = new_state
 
     def notify_bank_activity(self) -> None:
@@ -173,7 +196,8 @@ class Rank:
         v = self.validator
         if v is not None:
             v.on_refresh_due(self.global_rank_index, self._engine.now)
-        self._engine.post(self._t_refi_ns, self._refresh_timer)
+        self._timer_entry = self._engine.post_housekeeping(
+            self._t_refi_ns, self._refresh_timer, self)
         self._maybe_start_refresh()
 
     def _maybe_start_refresh(self) -> None:
@@ -194,12 +218,105 @@ class Rank:
         if v is not None:
             v.on_refresh_issue(self.global_rank_index, now,
                                self.refresh_busy_until, was_powered_down)
-        self._engine.post_at(self.refresh_busy_until, self._refresh_done)
+        self._engine.post_housekeeping_at(self.refresh_busy_until,
+                                          self._refresh_done)
 
     def _refresh_done(self) -> None:
         for bank in self._banks:
             bank.kick()
         self.notify_all_banks_idle()
+
+    # -- fast-forward (analytic refresh batching) ---------------------------
+    #
+    # When the memory controller detects a fully idle subsystem it
+    # replays this rank's refresh ticks analytically instead of through
+    # the event loop. The two methods below reproduce the *exact* side
+    # effects of `_refresh_timer` + `_maybe_start_refresh` +
+    # `_refresh_done` on an idle rank: same validator hook order, same
+    # per-slice residency additions, same sequence numbers for the
+    # events left behind. `record_refresh` is the one deviation — the
+    # controller adds the same `+= 1.0` to the refresh counter itself,
+    # so the counter bytes cannot differ.
+
+    def ff_refresh_tick(self, t_ns: float, done_seq: int,
+                        limit_ns: float) -> int:
+        """Apply one refresh tick at ``t_ns`` analytically.
+
+        Returns the number of events skipped: 2 when the completion at
+        ``t_ns + tRFC`` is also absorbed, 1 when it crosses ``limit_ns``
+        and must stay a real event (banks blocked on the refresh window
+        are re-kicked by it), in which case it is pushed carrying the
+        reserved ``done_seq``.
+        """
+        v = self.validator
+        if v is not None:
+            v.on_refresh_due(self.global_rank_index, t_ns)
+        # refresh executes from standby: wake the rank without an access
+        was_powered_down = self._state.cke_low
+        if was_powered_down:
+            self._transition_at(RankPowerState.PRECHARGE_STANDBY, t_ns)
+        done_ns = t_ns + self._t_rfc_ns
+        self.refresh_busy_until = done_ns
+        if v is not None:
+            v.on_refresh_issue(self.global_rank_index, t_ns, done_ns,
+                               was_powered_down)
+        if done_ns >= limit_ns:
+            self._engine.push_reserved(done_ns, done_seq, self._refresh_done)
+            return 1
+        # completion absorbed too: settle back into the idle power state
+        # (the `notify_all_banks_idle` outcome for an idle rank)
+        if self.powerdown_mode is PowerdownMode.NONE:
+            target = RankPowerState.PRECHARGE_STANDBY
+        elif self._open_rows == 0:
+            target = RankPowerState.PRECHARGE_POWERDOWN
+        else:
+            target = RankPowerState.ACTIVE_STANDBY
+        if target is not self._state:
+            self._transition_at(target, done_ns)
+        return 2
+
+    def ff_refresh_tick_fast(self, t_ns: float, done_seq: int,
+                             limit_ns: float) -> int:
+        """Validator-free :meth:`ff_refresh_tick` for the hot path.
+
+        Same float operations in the same order — only the ``validator
+        is None`` branches are pre-resolved (the controller falls back
+        to :meth:`ff_refresh_tick` whenever the validator is armed), and
+        the two state transitions are inlined.
+        """
+        counters = self._counters
+        rank_index = self.global_rank_index
+        state = self._state
+        since = self._state_since
+        if (state is RankPowerState.ACTIVE_POWERDOWN
+                or state is RankPowerState.PRECHARGE_POWERDOWN):
+            elapsed = t_ns - since
+            if elapsed > 0:
+                counters.account_rank_state(rank_index, state, elapsed)
+            since = t_ns
+            state = RankPowerState.PRECHARGE_STANDBY
+        done_ns = t_ns + self._t_rfc_ns
+        self.refresh_busy_until = done_ns
+        if done_ns >= limit_ns:
+            self._state = state
+            self._state_since = since
+            self._engine.push_reserved(done_ns, done_seq, self._refresh_done)
+            return 1
+        if self.powerdown_mode is PowerdownMode.NONE:
+            target = RankPowerState.PRECHARGE_STANDBY
+        elif self._open_rows == 0:
+            target = RankPowerState.PRECHARGE_POWERDOWN
+        else:
+            target = RankPowerState.ACTIVE_STANDBY
+        if target is not state:
+            elapsed = done_ns - since
+            if elapsed > 0:
+                counters.account_rank_state(rank_index, state, elapsed)
+            since = done_ns
+            state = target
+        self._state = state
+        self._state_since = since
+        return 2
 
     # -- helpers -------------------------------------------------------------
 

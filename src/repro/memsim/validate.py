@@ -576,6 +576,28 @@ class ProtocolValidator:
         """The rank exited powerdown for an access (EPDC was recorded)."""
         self._pd_exits_access += 1
 
+    def on_fast_forward(self, now_ns: float, limit_ns: float,
+                        in_flight: int) -> None:
+        """The controller is about to batch idle-period refresh ticks.
+
+        Fast-forward replays each skipped tick through the *same*
+        per-tick hooks (:meth:`on_refresh_due`, :meth:`on_rank_state`,
+        :meth:`on_refresh_issue`) in the same chronological order as
+        event-driven execution, so every refresh/freeze/powerdown rule
+        keeps firing with identical inputs. What is new — and checked
+        here — is the batch's own precondition: the subsystem must be
+        completely idle (no request between MC submit and burst
+        completion), and the jump target must not move time backwards.
+        """
+        self._check(
+            "fast-forward", in_flight == 0, now_ns,
+            f"fast-forward attempted with {in_flight} requests in flight",
+            actual_ns=float(in_flight))
+        self._check(
+            "fast-forward", limit_ns >= now_ns - EPS_NS, now_ns,
+            f"fast-forward target {limit_ns:.1f}ns precedes current time "
+            f"{now_ns:.1f}ns", required_ns=now_ns, actual_ns=limit_ns)
+
     # -- end-of-run invariants ----------------------------------------------
 
     def finalize(self) -> None:

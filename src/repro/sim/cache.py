@@ -8,9 +8,13 @@ survives the process in the serial runner, so a Figure sweep pays for
 them on every invocation. This cache keys both by the *content* of what
 produced them — the trace generator inputs for traces, the full
 :class:`~repro.config.SystemConfig` plus runner settings for baselines —
-and stores them under ``.repro_cache/`` using the existing
-serialization machinery (``WorkloadTrace.save``/``load`` ``.npz`` files
-and :mod:`repro.sim.serialize` JSON for run results).
+and stores them under ``.repro_cache/``: traces in the *columnar*
+``.npy`` + sidecar layout (``WorkloadTrace.save_columnar``), which
+workers of a parallel sweep load with ``mmap_mode="r"`` so one on-disk
+copy feeds every process through the OS page cache; run results as
+:mod:`repro.sim.serialize` JSON. Legacy compressed ``.npz`` trace
+entries from older caches are still read (they simply are not
+memory-mappable); new stores always write the columnar form.
 
 Properties:
 
@@ -35,7 +39,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.config import SystemConfig
-from repro.cpu.trace import WorkloadTrace
+from repro.cpu.trace import WorkloadTrace, columnar_sidecar_path
 from repro.sim.results import RunResult
 from repro.sim.serialize import run_result_from_dict, run_result_to_dict
 
@@ -57,10 +61,13 @@ def config_fingerprint(config: SystemConfig) -> Dict[str, object]:
 
     ``validate_protocol`` is excluded: the validator only observes, so a
     run produces byte-identical results armed or not and the two may
-    share cache entries.
+    share cache entries. ``fast_forward`` is excluded for the same
+    reason — the analytic idle-period batch reproduces event-driven
+    results bit for bit, so both settings may share entries.
     """
     payload = dataclasses.asdict(config)
     payload.pop("validate_protocol", None)
+    payload.pop("fast_forward", None)
     return payload
 
 
@@ -106,33 +113,54 @@ class ExperimentCache:
     # -- traces ------------------------------------------------------------
 
     def load_trace(self, key: str) -> Optional[WorkloadTrace]:
-        """The cached trace for ``key``, or None on a miss."""
+        """The cached trace for ``key``, or None on a miss.
+
+        Columnar entries are loaded with ``mmap_mode="r"``: the arrays
+        handed to the replayer are views of a shared read-only map, so
+        concurrent sweep workers pay for the trace bytes once (in the
+        OS page cache) instead of once per process.
+        """
         path = self._trace_path(key)
-        if not path.exists():
-            self.misses += 1
-            return None
-        try:
-            trace = WorkloadTrace.load(path)
-        except Exception:
-            # Corrupted / truncated entry: discard and regenerate.
-            path.unlink(missing_ok=True)
-            self.misses += 1
-            return None
-        self.hits += 1
-        return trace
+        sidecar = columnar_sidecar_path(path)
+        if path.exists() and sidecar.exists():
+            try:
+                trace = WorkloadTrace.load_columnar(path, mmap=True)
+            except Exception:
+                # Corrupted / truncated entry: discard and regenerate.
+                path.unlink(missing_ok=True)
+                sidecar.unlink(missing_ok=True)
+            else:
+                self.hits += 1
+                return trace
+        legacy = self._legacy_trace_path(key)
+        if legacy.exists():
+            try:
+                trace = WorkloadTrace.load(legacy)
+            except Exception:
+                legacy.unlink(missing_ok=True)
+            else:
+                self.hits += 1
+                return trace
+        self.misses += 1
+        return None
 
     def store_trace(self, key: str, trace: WorkloadTrace) -> Path:
         path = self._trace_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        # np.savez appends ".npz" unless the name already ends with it,
-        # so the temp file must carry the final suffix.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp.npz")
+        # np.save appends ".npy" unless the name already ends with it,
+        # so the temp files must carry the final suffix. The data file
+        # is moved into place before the sidecar: a reader only trusts
+        # an entry once both halves exist.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp.npy")
         os.close(fd)
+        tmp_sidecar = columnar_sidecar_path(tmp)
         try:
-            trace.save(tmp)
+            trace.save_columnar(tmp)
             os.replace(tmp, path)
+            os.replace(tmp_sidecar, columnar_sidecar_path(path))
         finally:
             Path(tmp).unlink(missing_ok=True)
+            tmp_sidecar.unlink(missing_ok=True)
         return path
 
     # -- baseline run results ----------------------------------------------
@@ -172,10 +200,57 @@ class ExperimentCache:
         """Number of cache entries currently on disk."""
         if not self.root.exists():
             return 0
-        return (sum(1 for _ in self.root.glob("traces/*.npz"))
+        return (sum(1 for _ in self.root.glob("traces/*.npy"))
+                + sum(1 for _ in self.root.glob("traces/*.npz"))
                 + sum(1 for _ in self.root.glob("runs/*.json")))
 
+    def stats(self) -> Dict[str, object]:
+        """Entry counts and on-disk footprint (for ``repro cache``)."""
+        trace_entries = legacy_trace_entries = run_entries = 0
+        total_bytes = 0
+        if self.root.exists():
+            for path in self.root.rglob("*"):
+                if not path.is_file():
+                    continue
+                total_bytes += path.stat().st_size
+                if path.parent.name == "traces":
+                    if path.suffix == ".npy":
+                        trace_entries += 1
+                    elif path.suffix == ".npz":
+                        legacy_trace_entries += 1
+                elif path.parent.name == "runs" and path.suffix == ".json":
+                    run_entries += 1
+        return {
+            "root": str(self.root),
+            "trace_entries": trace_entries,
+            "legacy_trace_entries": legacy_trace_entries,
+            "run_entries": run_entries,
+            "total_bytes": total_bytes,
+        }
+
+    def prune(self) -> Dict[str, int]:
+        """Delete every entry (traces, sidecars, runs); returns what was
+        removed. The root directory itself is kept."""
+        files_removed = 0
+        bytes_removed = 0
+        if self.root.exists():
+            for path in sorted(self.root.rglob("*"), reverse=True):
+                if path.is_file():
+                    bytes_removed += path.stat().st_size
+                    path.unlink()
+                    files_removed += 1
+                elif path.is_dir():
+                    try:
+                        path.rmdir()
+                    except OSError:  # pragma: no cover - non-empty dir
+                        pass
+        return {"files_removed": files_removed,
+                "bytes_removed": bytes_removed}
+
     def _trace_path(self, key: str) -> Path:
+        return self.root / "traces" / f"{key}.npy"
+
+    def _legacy_trace_path(self, key: str) -> Path:
         return self.root / "traces" / f"{key}.npz"
 
     def _run_path(self, key: str) -> Path:

@@ -7,11 +7,17 @@ parallel job — the evaluation structure FastCap (Liu et al.) uses for
 epoch-based multi-workload DVFS studies:
 
 1. **warm phase** — one task per mix generates the deterministic trace
-   and the all-on baseline run and stores both in the content-keyed
-   on-disk cache (:mod:`repro.sim.cache`);
+   *once*, stores it in the content-keyed on-disk cache
+   (:mod:`repro.sim.cache`) in the flat columnar ``.npy`` layout, and
+   records the all-on baseline run beside it;
 2. **fan-out phase** — one task per (mix, policy) pair loads the shared
    artifacts from the cache and simulates only the policy run, with an
-   optional per-run telemetry JSONL stream.
+   optional per-run telemetry JSONL stream. Trace loads go through
+   ``np.load(..., mmap_mode="r")``: every worker's core arrays are
+   read-only views of the same memory-mapped file, so the trace bytes
+   exist once in the OS page cache no matter how many processes replay
+   them — no per-worker ``generate_workload`` re-run, no per-worker
+   decompression, no per-worker copy.
 
 Determinism: trace generation is fully seeded and simulation is
 event-ordered, so a parallel sweep produces *byte-identical*

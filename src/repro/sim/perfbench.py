@@ -12,13 +12,21 @@ Methodology
 Each scenario runs a fixed (mix, cores, instructions, seed) workload
 under a fixed policy list. Per repeat, governors are constructed
 *untimed* (MemScale's calibration baseline run is excluded), then each
-``SystemSimulator.run()`` is timed and the engine's processed-event
+``SystemSimulator.run()`` is timed and the engine's simulated-event
 count summed; the repeat's throughput is total events / total timed
 wall. The best of ``repeats`` repeats is kept, which rejects scheduler
 noise on a loaded host. Results are appended to ``BENCH_perf.json``
 along with the git SHA and a machine fingerprint; the regression gate
 only fires when the fingerprint matches the baseline's, so numbers
 recorded on one machine never fail the gate on a different one.
+
+The event count is ``events_processed + events_fast_forwarded``:
+events the idle-period fast-forward path absorbs analytically *did*
+occur in simulated time, so counting them keeps the metric "simulated
+work per second of host time" — comparable across fast-forward on/off
+(same numerator, different wall). ``fast_forward=False`` reproduces
+the event-by-event engine of the pre-fast-forward code, which is how
+the ``ilp`` scenario's pre-PR baseline was seeded.
 """
 
 from __future__ import annotations
@@ -28,10 +36,12 @@ import os
 import platform
 import subprocess
 import time
+import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.config import scaled_config
 from repro.sim.runner import ExperimentRunner, RunnerSettings
 from repro.sim.system import SystemSimulator
 
@@ -57,16 +67,35 @@ class Scenario:
     instructions_per_core: int
     policies: Tuple[str, ...]
     seed: int = 2011
+    #: Core clock override in MHz. The scaled test config clocks cores
+    #: at 4 GHz; a low-power-server scenario pins a slower clock so the
+    #: same per-core miss gaps span more wall-nanoseconds of DRAM time.
+    cpu_mhz: Optional[float] = None
+    #: Multiplier on the governor epoch (and profiling window). The
+    #: scaled config compresses MemScale's epoch far below the paper's
+    #: milliseconds so unit tests stay fast; throughput scenarios can
+    #: restore a longer, more paper-faithful epoch so per-epoch
+    #: bookkeeping does not dominate the timed event loop.
+    epoch_scale: float = 1.0
 
 
 #: The benchmark suite. ``smoke`` is the CI-sized MID1 path (the same
 #: shape as ``repro bench --smoke``); ``mid1`` is a larger replay that
-#: keeps the event loop busy long enough to be setup-insensitive.
+#: keeps the event loop busy long enough to be setup-insensitive;
+#: ``ilp`` is the low-MPKI case — long compute gaps where per-rank
+#: refresh housekeeping dominates the event count, i.e. the workload
+#: shape the idle-period fast-forward path targets (its policies span
+#: no-powerdown, aggressive powerdown, and the MemScale governor so the
+#: batch logic covers every idle power state).
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario(name="smoke", mix="MID1", cores=4, instructions_per_core=8_000,
              policies=("Baseline", "MemScale", "Static")),
     Scenario(name="mid1", mix="MID1", cores=16, instructions_per_core=60_000,
              policies=("Baseline", "MemScale")),
+    Scenario(name="ilp", mix="ILP2", cores=4,
+             instructions_per_core=1_000_000,
+             policies=("Baseline", "Fast-PD", "MemScale"),
+             cpu_mhz=250.0, epoch_scale=16.0),
 )
 
 
@@ -97,19 +126,37 @@ def machine_fingerprint() -> Dict[str, object]:
 
 
 def run_scenario(scenario: Scenario,
-                 repeats: int = DEFAULT_REPEATS) -> Dict[str, float]:
+                 repeats: int = DEFAULT_REPEATS,
+                 fast_forward: bool = True) -> Dict[str, float]:
     """Measure one scenario; returns events, timed wall seconds, and
-    events/sec for the best repeat."""
+    events/sec for the best repeat.
+
+    ``fast_forward=False`` disables the idle-period batch path, which
+    both measures the event-by-event engine and seeds pre-fast-forward
+    reference numbers; either way the event count is the *simulated*
+    one (``events_processed + events_fast_forwarded``).
+    """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     settings = RunnerSettings(cores=scenario.cores,
                               instructions_per_core=scenario.instructions_per_core,
                               seed=scenario.seed)
-    runner = ExperimentRunner(settings=settings)
+    config = scaled_config().replace(fast_forward=fast_forward)
+    if scenario.cpu_mhz is not None:
+        config = config.replace(
+            cpu=dataclasses.replace(config.cpu, freq_mhz=scenario.cpu_mhz))
+    if scenario.epoch_scale != 1.0:
+        policy = config.policy
+        config = config.replace(policy=dataclasses.replace(
+            policy,
+            epoch_ns=policy.epoch_ns * scenario.epoch_scale,
+            profile_ns=policy.profile_ns * scenario.epoch_scale))
+    runner = ExperimentRunner(config=config, settings=settings)
     trace = runner.trace(scenario.mix)  # untimed: trace generation
     best: Optional[Dict[str, float]] = None
     for _ in range(repeats):
         total_events = 0
+        total_skipped = 0
         total_wall = 0.0
         for policy in scenario.policies:
             # untimed: governor construction (includes MemScale's
@@ -119,11 +166,15 @@ def run_scenario(scenario: Scenario,
             start = time.perf_counter()
             sim.run()
             total_wall += time.perf_counter() - start
-            total_events += sim.engine.events_processed
+            engine = sim.engine
+            total_events += (engine.events_processed
+                             + engine.events_fast_forwarded)
+            total_skipped += engine.events_fast_forwarded
         eps = total_events / total_wall
         if best is None or eps > best["events_per_sec"]:
             best = {"events": total_events, "wall_s": total_wall,
-                    "events_per_sec": eps}
+                    "events_per_sec": eps,
+                    "events_fast_forwarded": total_skipped}
     assert best is not None
     return best
 
@@ -169,7 +220,8 @@ def _gate_report(latest: Dict[str, Dict[str, float]],
         lines.append(
             f"perfbench: gate {name}: current {got:.0f} events/sec vs "
             f"baseline {ref:.0f} events/sec "
-            f"(floor {ref * (1.0 - max_regression):.0f})")
+            f"(floor {ref * (1.0 - max_regression):.0f}, "
+            f"{got / ref:.2f}x baseline)")
     return lines
 
 
@@ -178,13 +230,19 @@ def run_perfbench(output: str = DEFAULT_OUTPUT,
                   scenarios: Optional[Sequence[str]] = None,
                   update_baseline: bool = False,
                   max_regression: float = DEFAULT_MAX_REGRESSION,
-                  quiet: bool = False) -> Dict[str, object]:
+                  quiet: bool = False,
+                  fast_forward: bool = True,
+                  gate: bool = True) -> Dict[str, object]:
     """Run the suite, gate against the committed baseline, update ``output``.
 
     Raises :class:`PerfRegressionError` when any scenario's throughput is
     more than ``max_regression`` below the baseline recorded on the same
     machine. ``update_baseline`` re-seeds the baseline (and its machine
-    fingerprint) from this run's numbers.
+    fingerprint) from this run's numbers. ``fast_forward=False``
+    measures with idle-period batching disabled (the pre-fast-forward
+    engine). ``gate=False`` still prints the baseline-vs-current
+    comparison but never raises — the CI smoke leg, where the numbers
+    come from an arbitrary shared runner.
     """
     selected = [s for s in SCENARIOS
                 if scenarios is None or s.name in scenarios]
@@ -206,7 +264,8 @@ def run_perfbench(output: str = DEFAULT_OUTPUT,
                   f"({scenario.mix}, {scenario.cores} cores, "
                   f"{scenario.instructions_per_core} instr/core, "
                   f"best of {repeats})... ", end="", flush=True)
-        latest[scenario.name] = run_scenario(scenario, repeats=repeats)
+        latest[scenario.name] = run_scenario(scenario, repeats=repeats,
+                                             fast_forward=fast_forward)
         if not quiet:
             print(f"{latest[scenario.name]['events_per_sec']:.0f} events/sec")
 
@@ -234,7 +293,11 @@ def run_perfbench(output: str = DEFAULT_OUTPUT,
         "description": "simulator throughput benchmark (see "
                        "src/repro/sim/perfbench.py); 'pre_pr' and "
                        "'post_rewrite' pin the hot-path rewrite's "
-                       "matched-window reference numbers",
+                       "matched-window reference numbers; baselines "
+                       "re-seeded when idle-period fast-forward landed "
+                       "(events = processed + fast-forwarded), with "
+                       "'ilp' pre_pr holding that scenario's "
+                       "fast-forward-off numbers from the same machine",
         "git_sha": git_sha(),
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "machine": machine_fingerprint(),
@@ -265,5 +328,9 @@ def run_perfbench(output: str = DEFAULT_OUTPUT,
             print(f"perfbench: {name} speedup vs pre-PR baseline: {ratio:.2f}x")
         print(f"perfbench: wrote {path}")
     if failures:
-        raise PerfRegressionError("; ".join(failures))
+        if gate:
+            raise PerfRegressionError("; ".join(failures))
+        if not quiet:
+            for failure in failures:
+                print(f"perfbench: (not gated) {failure}")
     return record

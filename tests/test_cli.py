@@ -21,7 +21,8 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for cmd in ("table1", "run", "figure", "timeline", "stats",
-                    "best-static", "sweep", "bench", "cap", "governors"):
+                    "best-static", "sweep", "bench", "cap", "governors",
+                    "cache"):
             args = parser.parse_args(
                 [cmd] + (["MID1"] if cmd in ("run", "timeline", "stats",
                                              "best-static") else
@@ -216,3 +217,64 @@ class TestValidateFlag:
         assert code == 0
         assert "SMOKE OK" in out
         assert "validator: armed leg passed" in out
+
+
+class TestFastForwardFlag:
+    """--no-fast-forward disables idle-period batching everywhere; the
+    output must be indistinguishable (results are byte-identical)."""
+
+    SMALL = ["--instructions", "8000", "--cores", "4"]
+
+    def test_flag_parses_on_every_simulating_command(self):
+        parser = build_parser()
+        for argv in (["run", "MID1", "--no-fast-forward"],
+                     ["sweep", "--no-fast-forward"],
+                     ["cap", "--smoke", "--no-fast-forward"],
+                     ["bench", "--smoke", "--no-fast-forward"],
+                     ["perfbench", "--no-fast-forward"]):
+            args = parser.parse_args(argv)
+            assert args.no_fast_forward is True
+
+    def test_run_output_identical_either_way(self, capsys):
+        code_on, out_on = run_cli(capsys, "run", "ILP2", *self.SMALL)
+        code_off, out_off = run_cli(capsys, "run", "ILP2",
+                                    "--no-fast-forward", *self.SMALL)
+        assert code_on == code_off == 0
+        assert out_on == out_off
+
+
+class TestCacheCommand:
+    def populate(self, cache_dir):
+        from repro.sim.cache import ExperimentCache
+        from repro.sim.runner import ExperimentRunner, RunnerSettings
+        runner = ExperimentRunner(
+            settings=RunnerSettings(cores=4, instructions_per_core=8_000,
+                                    seed=7),
+            cache=ExperimentCache(cache_dir))
+        runner.trace("MID1")
+
+    def test_stats_on_empty_cache(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "cache",
+                            "--cache-dir", str(tmp_path / "c"))
+        assert code == 0
+        assert "trace entries    : 0" in out
+        assert "run entries      : 0" in out
+        assert "pruned" not in out
+
+    def test_stats_after_population(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        self.populate(cache_dir)
+        code, out = run_cli(capsys, "cache", "--cache-dir", str(cache_dir))
+        assert code == 0
+        assert "trace entries    : 1" in out
+        assert str(cache_dir) in out
+
+    def test_prune_empties_the_cache(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        self.populate(cache_dir)
+        code, out = run_cli(capsys, "cache", "--cache-dir", str(cache_dir),
+                            "--prune")
+        assert code == 0
+        assert "pruned 2 files" in out  # columnar trace + sidecar
+        code, out = run_cli(capsys, "cache", "--cache-dir", str(cache_dir))
+        assert "trace entries    : 0" in out

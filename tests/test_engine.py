@@ -211,6 +211,198 @@ class TestRun:
         assert engine.events_processed == 4
 
 
+class TestTombstoneCompaction:
+    """Cancelled entries must not accumulate: once tombstones outnumber
+    live entries (and the queue is past the minimum size), the heap is
+    compacted in place and physically shrinks."""
+
+    def test_queue_shrinks_when_tombstones_dominate(self):
+        engine = EventEngine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(20)]
+        assert len(engine._queue) == 20
+        for handle in handles[:11]:  # 11 * 2 > 20 triggers compaction
+            handle.cancel()
+        assert len(engine._queue) == 9
+        assert engine.pending == 9
+
+    def test_small_queues_are_never_compacted(self):
+        engine = EventEngine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(4)]
+        for handle in handles:
+            handle.cancel()
+        # below _COMPACT_MIN: lazy deletion only, no compaction pass
+        assert len(engine._queue) == 4
+        assert engine.pending == 0
+
+    def test_surviving_events_fire_in_order_after_compaction(self):
+        engine = EventEngine()
+        fired = []
+        keep = []
+        for i in range(24):
+            handle = engine.schedule(float(i + 1),
+                                     lambda i=i: fired.append(i))
+            if i % 2:
+                keep.append(i)
+            else:
+                handle.cancel()
+        assert len(engine._queue) < 24
+        engine.run()
+        assert fired == keep
+
+    def test_compaction_preserves_queue_identity_mid_run(self):
+        # run_until holds a local reference to the queue list; a callback
+        # that triggers compaction must not swap the list out from under
+        # it. 16 pending cancels from inside the first event crosses the
+        # threshold mid-loop.
+        engine = EventEngine()
+        fired = []
+        doomed = [engine.schedule(50.0 + i, lambda: fired.append("doomed"))
+                  for i in range(16)]
+
+        def cancel_all():
+            for handle in doomed:
+                handle.cancel()
+
+        engine.schedule(1.0, cancel_all)
+        engine.schedule(2.0, lambda: fired.append("after"))
+        engine.run_until(100.0)
+        assert fired == ["after"]
+
+    def test_cancel_via_raw_entry_tombstone(self):
+        engine = EventEngine()
+        fired = []
+        entry = engine.post_housekeeping(5.0, lambda: fired.append(1))
+        engine.tombstone(entry)
+        engine.tombstone(entry)  # idempotent
+        engine.run()
+        assert fired == []
+
+
+class TestHousekeeping:
+    def test_housekeeping_events_fire_like_normal_ones(self):
+        engine = EventEngine()
+        fired = []
+        engine.post_housekeeping(2.0, lambda: fired.append("hk"))
+        engine.post(1.0, lambda: fired.append("workload"))
+        engine.run()
+        assert fired == ["workload", "hk"]
+
+    def test_workload_horizon_ignores_housekeeping_and_tombstones(self):
+        engine = EventEngine()
+        engine.post_housekeeping(5.0, lambda: None)
+        dead = engine.schedule(7.0, lambda: None)
+        dead.cancel()
+        engine.post_at(9.0, lambda: None)
+        assert engine.workload_horizon(100.0) == 9.0
+
+    def test_workload_horizon_caps_at_bound(self):
+        engine = EventEngine()
+        engine.post_at(50.0, lambda: None)
+        assert engine.workload_horizon(20.0) == 20.0
+
+    def test_workload_horizon_cache_sees_new_posts(self):
+        engine = EventEngine()
+        engine.post_at(50.0, lambda: None)
+        assert engine.workload_horizon(100.0) == 50.0  # primes the cache
+        engine.post_at(30.0, lambda: None)
+        assert engine.workload_horizon(100.0) == 30.0
+
+    def test_workload_horizon_cache_advances_past_dispatch(self):
+        engine = EventEngine()
+        engine.post_at(10.0, lambda: None)
+        engine.post_at(40.0, lambda: None)
+        assert engine.workload_horizon(100.0) == 10.0
+        engine.run_until(20.0)  # dispatches the 10 ns event
+        assert engine.workload_horizon(100.0) == 40.0
+
+    def test_reserved_seq_matches_normal_allocation(self):
+        engine = EventEngine()
+        a = engine.reserve_seq()
+        b = engine.reserve_seq()
+        assert b == a + 1
+        event = engine.schedule(1.0, lambda: None)
+        assert event.seq == b + 1
+
+    def test_reserve_seq_block_matches_serial_reservation(self):
+        engine = EventEngine()
+        base = engine.reserve_seq_block(2)
+        # the block covers base+1 .. base+2, like two reserve_seq calls
+        assert engine.reserve_seq() == base + 3
+
+    def test_push_reserved_orders_by_reserved_seq(self):
+        # Two entries at the same timestamp: the one carrying the earlier
+        # reserved seq must fire first, regardless of push order.
+        engine = EventEngine()
+        fired = []
+        first = engine.reserve_seq()
+        second = engine.reserve_seq()
+        engine.push_reserved(3.0, second, lambda: fired.append("second"))
+        engine.push_reserved(3.0, first, lambda: fired.append("first"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+
+class TestFastForwardDelegate:
+    def test_delegate_only_sees_housekeeping_heads(self):
+        engine = EventEngine()
+        seen = []
+
+        def delegate(head, bound_ns):
+            seen.append((head[0], bound_ns))
+            return False  # decline: normal execution proceeds
+
+        engine.set_fast_forward(delegate)
+        engine.post(1.0, lambda: None)
+        engine.post_housekeeping(2.0, lambda: None)
+        engine.run_until(10.0)
+        assert seen == [(2.0, 10.0)]
+        assert engine.events_processed == 2
+
+    def test_delegate_absorbing_the_head_skips_dispatch(self):
+        engine = EventEngine()
+        fired = []
+        engine.post_housekeeping(2.0, lambda: fired.append("hk"))
+
+        def delegate(head, bound_ns):
+            engine.pop_absorbed_head()
+            engine.count_fast_forwarded(1)
+            return True
+
+        engine.set_fast_forward(delegate)
+        engine.run_until(10.0)
+        assert fired == []
+        assert engine.events_processed == 0
+        assert engine.events_fast_forwarded == 1
+        assert engine.now == 10.0
+
+    def test_delegate_may_absorb_via_tombstone(self):
+        engine = EventEngine()
+        fired = []
+        entry = engine.post_housekeeping(2.0, lambda: fired.append("hk"))
+
+        def delegate(head, bound_ns):
+            engine.tombstone(entry)
+            engine.count_fast_forwarded(1)
+            return True
+
+        engine.set_fast_forward(delegate)
+        engine.run_until(10.0)
+        assert fired == []
+        assert engine.events_processed == 0
+        assert engine.events_fast_forwarded == 1
+        assert engine.now == 10.0
+
+    def test_counts_are_disjoint(self):
+        engine = EventEngine()
+        engine.post(1.0, lambda: None)
+        engine.run_until(5.0)
+        engine.count_fast_forwarded(7)
+        assert engine.events_processed == 1
+        assert engine.events_fast_forwarded == 7
+
+
 class TestOrderingProperty:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e9,
                               allow_nan=False, allow_infinity=False),

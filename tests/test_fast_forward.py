@@ -1,0 +1,103 @@
+"""Idle-period fast-forward equivalence and engagement tests.
+
+The PR-level invariant: enabling fast-forward (``SystemConfig.
+fast_forward``, the default) must be *invisible* in simulation results —
+the analytic batch replays exactly the counter updates, residency
+accounting, and event sequence numbers the skipped refresh housekeeping
+would have produced, so a run serializes byte-identically either way.
+The golden snapshot pins this for the committed mixes; the hypothesis
+property here pins it across random mixes x policies (spanning every
+powerdown mode) x static frequencies x validator arming.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import scaled_config
+from repro.core.baselines import StaticFrequencyGovernor
+from repro.sim.cache import config_fingerprint
+from repro.sim.runner import ExperimentRunner, RunnerSettings
+from repro.sim.serialize import run_result_to_dict
+from repro.sim.system import SystemSimulator
+
+CONFIG = scaled_config()
+SETTINGS = RunnerSettings(cores=4, instructions_per_core=2_000, seed=2011)
+
+#: Policy dimension: spans no-powerdown, fast-exit, slow-exit, DVFS, and
+#: DVFS+powerdown. "Static-sampled" is replaced by a
+#: StaticFrequencyGovernor at a sampled ladder frequency.
+POLICIES = ("Baseline", "Fast-PD", "Slow-PD", "MemScale",
+            "MemScale+Fast-PD", "Static-sampled")
+
+
+def result_bytes(result):
+    return json.dumps(run_result_to_dict(result), sort_keys=True).encode()
+
+
+def run_once(mix, policy, bus_mhz, validate, fast_forward):
+    config = CONFIG.replace(validate_protocol=validate,
+                            fast_forward=fast_forward)
+    runner = ExperimentRunner(config=config, settings=SETTINGS)
+    if policy == "Static-sampled":
+        return runner.run_governor(mix, StaticFrequencyGovernor(bus_mhz))
+    result, _ = runner.run_named_policy(mix, policy)
+    return result
+
+
+class TestFastForwardEquivalence:
+    @given(mix=st.sampled_from(["MID1", "ILP1", "ILP2", "MEM1"]),
+           policy=st.sampled_from(POLICIES),
+           bus_mhz=st.sampled_from(list(CONFIG.sorted_bus_freqs())),
+           validate=st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_run_results_byte_identical(self, mix, policy, bus_mhz,
+                                        validate):
+        on = run_once(mix, policy, bus_mhz, validate, fast_forward=True)
+        off = run_once(mix, policy, bus_mhz, validate, fast_forward=False)
+        assert result_bytes(on) == result_bytes(off)
+
+
+class TestFastForwardEngagement:
+    """The equivalence above would be vacuous if the batch path never
+    ran; these pin that it actually fires on low-MPKI workloads."""
+
+    def make_sim(self, fast_forward, policy="MemScale"):
+        config = CONFIG.replace(fast_forward=fast_forward)
+        runner = ExperimentRunner(
+            config=config,
+            settings=RunnerSettings(cores=4, instructions_per_core=8_000,
+                                    seed=2011))
+        governor = runner.make_named_governor("ILP2", policy)
+        return SystemSimulator(config, runner.trace("ILP2"), governor)
+
+    def test_low_mpki_run_fast_forwards_events(self):
+        sim = self.make_sim(fast_forward=True)
+        sim.run()
+        assert sim.engine.events_fast_forwarded > 0
+        assert sim.controller.fast_forward_batches > 0
+
+    def test_disabled_config_never_batches(self):
+        sim = self.make_sim(fast_forward=False)
+        sim.run()
+        assert sim.engine.events_fast_forwarded == 0
+        assert sim.controller.fast_forward_batches == 0
+
+    def test_event_conservation_across_modes(self):
+        # processed + fast-forwarded is the mode-independent simulated
+        # event count (the perfbench metric).
+        on = self.make_sim(fast_forward=True)
+        on.run()
+        off = self.make_sim(fast_forward=False)
+        off.run()
+        assert (on.engine.events_processed + on.engine.events_fast_forwarded
+                == off.engine.events_processed)
+        assert on.engine.events_processed < off.engine.events_processed
+
+
+class TestCacheKeyInsensitivity:
+    def test_fingerprint_ignores_fast_forward(self):
+        # Byte-identical results may share cache entries, exactly like
+        # the observe-only validator flag.
+        assert (config_fingerprint(CONFIG.replace(fast_forward=True))
+                == config_fingerprint(CONFIG.replace(fast_forward=False)))

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.config import scaled_config
+from repro.cpu.trace import columnar_sidecar_path
 from repro.cpu.workloads import MIXES
 from repro.sim.cache import ExperimentCache
 from repro.sim.parallel import (
@@ -113,6 +114,68 @@ class TestCache:
         runner = ExperimentRunner(settings=SETTINGS, cache=cache)
         runner.baseline("MID1")
         assert cache.entries == 2  # one trace + one baseline run
+
+    def test_cached_trace_loads_as_shared_memory_map(self, tmp_path):
+        import numpy as np
+        cache = ExperimentCache(tmp_path)
+        ExperimentRunner(settings=SETTINGS, cache=cache).trace("MID1")
+        cache2 = ExperimentCache(tmp_path)
+        trace = ExperimentRunner(settings=SETTINGS, cache=cache2).trace("MID1")
+        assert cache2.hits == 1
+        base = trace.cores[0].gaps.base
+        assert isinstance(base, np.memmap)
+        # every core slices the same on-disk map — the zero-copy fan-out
+        assert all(c.gaps.base is base for c in trace.cores)
+
+    def test_legacy_npz_entry_is_still_readable(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        runner = ExperimentRunner(settings=SETTINGS, cache=cache)
+        expected = runner.trace("MID1")
+        key = cache.trace_key("MID1", SETTINGS.cores,
+                              SETTINGS.instructions_per_core, SETTINGS.seed)
+        # rewrite the entry as an old-format compressed archive
+        cache._trace_path(key).unlink()
+        columnar_sidecar_path(cache._trace_path(key)).unlink()
+        expected.save(cache._legacy_trace_path(key))
+        cache2 = ExperimentCache(tmp_path)
+        trace = ExperimentRunner(settings=SETTINGS, cache=cache2).trace("MID1")
+        assert cache2.hits == 1
+        assert trace.rpki == expected.rpki
+        assert cache2.entries == 1
+
+    def test_stats_reports_counts_and_footprint(self, tmp_path):
+        cache = ExperimentCache(tmp_path / "c")
+        empty = cache.stats()
+        assert empty["trace_entries"] == 0
+        assert empty["run_entries"] == 0
+        assert empty["total_bytes"] == 0
+        runner = ExperimentRunner(settings=SETTINGS, cache=cache)
+        runner.baseline("MID1")
+        stats = cache.stats()
+        assert stats["trace_entries"] == 1
+        assert stats["legacy_trace_entries"] == 0
+        assert stats["run_entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["root"] == str(cache.root)
+
+    def test_prune_removes_everything_but_the_root(self, tmp_path):
+        cache = ExperimentCache(tmp_path / "c")
+        ExperimentRunner(settings=SETTINGS, cache=cache).baseline("MID1")
+        before = cache.stats()["total_bytes"]
+        removed = cache.prune()
+        assert removed["files_removed"] >= 3  # trace + sidecar + run
+        assert removed["bytes_removed"] == before
+        assert cache.stats()["total_bytes"] == 0
+        assert cache.entries == 0
+        # the cache still works after a prune
+        cache2 = ExperimentCache(cache.root)
+        ExperimentRunner(settings=SETTINGS, cache=cache2).trace("MID1")
+        assert cache2.misses == 1
+        assert cache2.entries == 1
+
+    def test_prune_on_missing_root_is_a_noop(self, tmp_path):
+        cache = ExperimentCache(tmp_path / "never-created")
+        assert cache.prune() == {"files_removed": 0, "bytes_removed": 0}
 
 
 class TestRunSweep:

@@ -22,9 +22,13 @@ def test_scenarios_are_pinned():
     # The gate is only meaningful against a fixed workload: scenario
     # names, mixes, and seeds are part of the benchmark's contract.
     by_name = {s.name: s for s in SCENARIOS}
-    assert set(by_name) == {"smoke", "mid1"}
-    assert all(s.mix == "MID1" and s.seed == 2011 for s in SCENARIOS)
+    assert set(by_name) == {"smoke", "mid1", "ilp"}
+    assert all(s.seed == 2011 for s in SCENARIOS)
+    assert by_name["smoke"].mix == "MID1" and by_name["mid1"].mix == "MID1"
     assert by_name["smoke"].policies == ("Baseline", "MemScale", "Static")
+    # the low-MPKI scenario the idle-period fast-forward path targets
+    assert by_name["ilp"].mix == "ILP2"
+    assert by_name["ilp"].policies == ("Baseline", "Fast-PD", "MemScale")
 
 
 def test_run_scenario_counts_events():
@@ -38,6 +42,30 @@ def test_run_scenario_counts_events():
 def test_run_scenario_rejects_bad_repeats():
     with pytest.raises(ValueError, match="repeats"):
         run_scenario(SCENARIOS[0], repeats=0)
+
+
+def test_event_metric_is_fast_forward_invariant():
+    # The metric counts *simulated* events (processed + fast-forwarded):
+    # the numerator must be identical with the batch path on or off, so
+    # throughputs are comparable across the two modes.
+    smoke = next(s for s in SCENARIOS if s.name == "smoke")
+    on = run_scenario(smoke, repeats=1, fast_forward=True)
+    off = run_scenario(smoke, repeats=1, fast_forward=False)
+    assert on["events"] == off["events"]
+    assert off["events_fast_forwarded"] == 0
+    assert on["events_fast_forwarded"] > 0
+
+
+def test_no_gate_mode_reports_but_never_raises(tmp_path, capsys):
+    out = tmp_path / "b.json"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
+    data = json.loads(out.read_text())
+    data["baseline"]["smoke"]["events_per_sec"] *= 1000.0
+    out.write_text(json.dumps(data))
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, gate=False)
+    printed = capsys.readouterr().out
+    assert "not gated" in printed
+    assert "baseline" in printed and "current" in printed
 
 
 def test_unknown_scenario_rejected(tmp_path):
@@ -122,6 +150,15 @@ def test_committed_bench_file_is_consistent():
         assert post / pre >= 2.0
         assert data["baseline"][name]["events_per_sec"] > 0
         assert data["latest"][name]["events_per_sec"] > 0
+    # The fast-forward PR's matched-window pair on the low-MPKI
+    # scenario: pre_pr = batch path off, post_rewrite = on, interleaved
+    # on one host. Target: >= 1.5x events/sec.
+    ilp_pre = data["pre_pr"]["ilp"]["events_per_sec"]
+    ilp_post = data["post_rewrite"]["ilp"]["events_per_sec"]
+    assert ilp_pre > 0
+    assert ilp_post / ilp_pre >= 1.5
+    assert data["pre_pr"]["ilp"]["events_fast_forwarded"] == 0
+    assert data["post_rewrite"]["ilp"]["events_fast_forwarded"] > 0
 
 
 def test_git_sha_shape():

@@ -1,10 +1,13 @@
 """Unit and property tests for the trace format."""
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.cpu.trace import CoreTrace, WorkloadTrace
+from repro.cpu.trace import (CoreTrace, WorkloadTrace,
+                             columnar_sidecar_path)
 
 
 def make_core_trace(n=10, app="swim", app_id=0, gap=100, wb_every=2):
@@ -82,6 +85,80 @@ class TestWorkloadTrace:
             np.testing.assert_array_equal(orig.gaps, new.gaps)
             np.testing.assert_array_equal(orig.read_addrs, new.read_addrs)
             np.testing.assert_array_equal(orig.wb_addrs, new.wb_addrs)
+
+
+class TestColumnarFormat:
+    """The mmap-able flat layout the experiment cache stores."""
+
+    def make_mix(self):
+        return WorkloadTrace("MID1", [
+            make_core_trace(n=10, app="ammp", app_id=0),
+            make_core_trace(n=7, app="gap", app_id=1, gap=50),
+        ])
+
+    def test_roundtrip(self, tmp_path):
+        wt = self.make_mix()
+        path = tmp_path / "trace.npy"
+        wt.save_columnar(path)
+        loaded = WorkloadTrace.load_columnar(path)
+        assert loaded.name == "MID1"
+        assert [c.app_name for c in loaded.cores] == ["ammp", "gap"]
+        assert [c.app_id for c in loaded.cores] == [0, 1]
+        for orig, new in zip(wt.cores, loaded.cores):
+            np.testing.assert_array_equal(orig.gaps, new.gaps)
+            np.testing.assert_array_equal(orig.read_addrs, new.read_addrs)
+            np.testing.assert_array_equal(orig.wb_addrs, new.wb_addrs)
+
+    def test_sidecar_written_next_to_data(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        self.make_mix().save_columnar(path)
+        assert path.exists()
+        assert columnar_sidecar_path(path).exists()
+
+    def test_mmap_load_returns_readonly_views(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        self.make_mix().save_columnar(path)
+        loaded = WorkloadTrace.load_columnar(path, mmap=True)
+        core = loaded.cores[0]
+        assert isinstance(core.gaps, np.memmap) or \
+            isinstance(core.gaps.base, np.memmap)
+        with pytest.raises(ValueError):
+            core.gaps[0] = 1  # the shared map must be read-only
+
+    def test_non_mmap_load(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        self.make_mix().save_columnar(path)
+        loaded = WorkloadTrace.load_columnar(path, mmap=False)
+        assert not isinstance(loaded.cores[0].gaps.base, np.memmap)
+        np.testing.assert_array_equal(loaded.cores[0].gaps,
+                                      self.make_mix().cores[0].gaps)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        self.make_mix().save_columnar(path)
+        sidecar = columnar_sidecar_path(path)
+        meta = json.loads(sidecar.read_text())
+        meta["version"] = 99
+        sidecar.write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            WorkloadTrace.load_columnar(path)
+
+    def test_out_of_range_sidecar_rejected(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        self.make_mix().save_columnar(path)
+        sidecar = columnar_sidecar_path(path)
+        meta = json.loads(sidecar.read_text())
+        meta["cores"][-1]["count"] += 1
+        sidecar.write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            WorkloadTrace.load_columnar(path)
+
+    def test_bad_shape_rejected(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        self.make_mix().save_columnar(path)
+        np.save(str(path), np.zeros((2, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            WorkloadTrace.load_columnar(path)
 
 
 class TestRoundtripProperty:
