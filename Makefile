@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench bench-perf bench-perf-smoke sweep \
-	validate cache-stats clean-cache
+	validate cache-stats clean-cache docs-links multidomain-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,18 @@ bench-perf:
 # 10% same-machine gate stays a local concern (`make bench-perf`).
 bench-perf-smoke:
 	$(PYTHON) -m repro perfbench --no-gate
+
+# Two-point multi-domain budget sweep with acceptance checks: the
+# coordinated governor must post zero ledger violations, beat the
+# memory-only split on system energy, and (at the tight point) find a
+# feasible pair where neither domain alone could meet the cap.
+multidomain-smoke:
+	$(PYTHON) -m repro multidomain --smoke
+
+# Fail on dangling intra-repo references in README/docs/EXPERIMENTS/
+# DESIGN (markdown links and backtick-quoted paths).
+docs-links:
+	$(PYTHON) tools/check_docs_links.py
 
 cache-stats:
 	$(PYTHON) -m repro cache

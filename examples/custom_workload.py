@@ -11,6 +11,8 @@ Usage::
     python examples/custom_workload.py
 """
 
+import os
+
 import numpy as np
 
 from repro import (
@@ -44,7 +46,7 @@ def make_app(name, app_id, core_index, rpki, n_instructions, seed):
 
 def main() -> None:
     config = scaled_config().with_cpu(cores=8)
-    n_instr = 120_000
+    n_instr = int(os.environ.get("REPRO_EXAMPLE_INSTRUCTIONS", "120000"))
 
     # 4 latency-critical service cores + 4 batch-analytics cores.
     cores = []

@@ -11,6 +11,7 @@ Usage::
     python examples/model_playground.py [MIX]
 """
 
+import os
 import sys
 
 from repro import (
@@ -38,7 +39,8 @@ def main() -> None:
     ladder = FrequencyLadder(config)
 
     # Drive the memory system at max frequency for one profiling window.
-    workload = generate_workload(mix, instructions_per_core=50_000)
+    n_instr = int(os.environ.get("REPRO_EXAMPLE_INSTRUCTIONS", "50000"))
+    workload = generate_workload(mix, instructions_per_core=n_instr)
     engine = EventEngine()
     controller = MemoryController(engine, config)
     cluster = CpuCluster(engine, controller, config.cpu, workload.cores)

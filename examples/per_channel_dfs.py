@@ -10,6 +10,8 @@ Usage::
     python examples/per_channel_dfs.py
 """
 
+import os
+
 import numpy as np
 
 from repro import (
@@ -26,7 +28,8 @@ from repro.analysis import format_table
 from repro.core.extensions import PerChannelMemScaleGovernor
 from repro.cpu.trace import CoreTrace, WorkloadTrace
 
-N_INSTR = 120_000
+# REPRO_EXAMPLE_INSTRUCTIONS lets the test harness shrink the run.
+N_INSTR = int(os.environ.get("REPRO_EXAMPLE_INSTRUCTIONS", "120000"))
 
 
 def skewed_workload(config):

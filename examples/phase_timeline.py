@@ -10,13 +10,18 @@ Usage::
     python examples/phase_timeline.py
 """
 
+import os
+
 from repro import ExperimentRunner, RunnerSettings
 from repro.analysis import bar
+
+# REPRO_EXAMPLE_INSTRUCTIONS lets the test harness shrink the run.
+N_INSTR = int(os.environ.get("REPRO_EXAMPLE_INSTRUCTIONS", "200000"))
 
 
 def main() -> None:
     runner = ExperimentRunner(
-        settings=RunnerSettings(instructions_per_core=200_000))
+        settings=RunnerSettings(instructions_per_core=N_INSTR))
     print("Simulating MID3 (apsi bzip2 ammp gap) under MemScale ...")
     result, comparison = runner.run_memscale("MID3")
 

@@ -9,6 +9,7 @@ Usage::
     python examples/policy_shootout.py [MIX] [INSTRUCTIONS]
 """
 
+import os
 import sys
 
 from repro import ExperimentRunner, RunnerSettings
@@ -16,10 +17,13 @@ from repro.analysis import format_table
 from repro.cpu.workloads import MIXES
 from repro.sim.runner import POLICY_NAMES
 
+# REPRO_EXAMPLE_INSTRUCTIONS lets the test harness shrink the run.
+N_INSTR = int(os.environ.get("REPRO_EXAMPLE_INSTRUCTIONS", "120000"))
+
 
 def main() -> None:
     mix = sys.argv[1] if len(sys.argv) > 1 else "MID1"
-    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 120_000
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else N_INSTR
     if mix not in MIXES:
         raise SystemExit(f"unknown mix {mix!r}; choose from {list(MIXES)}")
 

@@ -9,11 +9,15 @@ the all-on baseline and the MemScale policy on identical traces, then
 reports energy savings and per-application CPI impact.
 """
 
+import os
 import sys
 
 from repro import ExperimentRunner, RunnerSettings
 from repro.analysis import format_table
 from repro.cpu.workloads import MIXES
+
+# REPRO_EXAMPLE_INSTRUCTIONS lets the test harness shrink the run.
+N_INSTR = int(os.environ.get("REPRO_EXAMPLE_INSTRUCTIONS", "150000"))
 
 
 def main() -> None:
@@ -23,7 +27,7 @@ def main() -> None:
 
     print(f"Simulating {mix} ({', '.join(MIXES[mix].apps)}) ...")
     runner = ExperimentRunner(
-        settings=RunnerSettings(instructions_per_core=150_000))
+        settings=RunnerSettings(instructions_per_core=N_INSTR))
 
     result, comparison = runner.run_memscale(mix)
 

@@ -6,6 +6,7 @@ from repro.analysis.tables import (
     format_bar_chart,
     format_series,
     format_table,
+    multidomain_summary_table,
     percent,
     savings_table,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "format_bar_chart",
     "format_series",
     "format_table",
+    "multidomain_summary_table",
     "percent",
     "savings_table",
 ]

@@ -134,3 +134,44 @@ def cap_summary_table(rows: Sequence[Dict[str, object]],
         ["workload", "governor", "budget", "cap W", "avg W", "viol",
          "t>cap", "infeas", "min perf", "worst CPI", "sys savings"],
         table_rows, title=title)
+
+
+def multidomain_summary_table(rows: Sequence[Dict[str, object]],
+                              title: Optional[str] =
+                              "multi-domain budget sweep") -> str:
+    """Summary table of a multi-domain sweep (one row per (mix, budget,
+    leg) point).
+
+    ``rows`` are the ``multidomain_sweep`` experiment's row dicts:
+    ``workload``, ``governor``, ``budget_fraction``, ``budget_w``,
+    ``avg_power_w``, ``avg_core_power_w``, ``avg_core_mhz``,
+    ``violations``, ``infeasible_epochs``, ``min_perf``, and
+    ``system_energy_j``. Fields absent on the memory-only reference
+    legs render as ``-``.
+    """
+    if not rows:
+        raise ValueError("no multi-domain results to format")
+
+    def num(row, key, fmt):
+        value = row.get(key)
+        return "-" if value is None else fmt.format(value)
+
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row["workload"],
+            row["governor"],
+            num(row, "budget_fraction", "{:.0%}"),
+            num(row, "budget_w", "{:.2f}"),
+            num(row, "avg_power_w", "{:.2f}"),
+            num(row, "avg_core_power_w", "{:.2f}"),
+            num(row, "avg_core_mhz", "{:.0f}"),
+            num(row, "violations", "{:d}"),
+            num(row, "infeasible_epochs", "{:d}"),
+            num(row, "min_perf", "{:.3f}"),
+            num(row, "system_energy_j", "{:.4f}"),
+        ])
+    return format_table(
+        ["workload", "governor", "budget", "cap W", "avg W", "core W",
+         "core MHz", "viol", "infeas", "min perf", "sys J"],
+        table_rows, title=title)

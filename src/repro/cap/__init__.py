@@ -18,12 +18,20 @@ Three collaborating pieces, layered on the existing models:
   model and the Micron-style power model;
 * :mod:`~repro.cap.governor` — :class:`CapGovernor`: the
   :class:`~repro.core.governor.Governor` implementation the epoch loop
-  drives, unchanged at its call sites.
+  drives, unchanged at its call sites;
+* :mod:`~repro.cap.multidomain` — :class:`MultiDomainGovernor` and
+  :class:`MultiDomainAllocator`: the SysScale-style extension that
+  splits one *global* budget between the core and memory domains each
+  epoch, crossing the core frequency ladder with the memory-side
+  candidate space above.
 """
 
 from repro.cap.allocator import Allocation, CapAllocator, CapCandidate
 from repro.cap.budget import BudgetSchedule, PowerBudget, ViolationStats
 from repro.cap.governor import CapGovernor
+from repro.cap.multidomain import (MultiDomainAllocation,
+                                   MultiDomainAllocator,
+                                   MultiDomainCandidate, MultiDomainGovernor)
 
 __all__ = [
     "Allocation",
@@ -31,6 +39,10 @@ __all__ = [
     "CapAllocator",
     "CapCandidate",
     "CapGovernor",
+    "MultiDomainAllocation",
+    "MultiDomainAllocator",
+    "MultiDomainCandidate",
+    "MultiDomainGovernor",
     "PowerBudget",
     "ViolationStats",
 ]

@@ -52,6 +52,10 @@ class CapCandidate:
     predicted_power_w: float     #: predicted memory-subsystem power
     predicted_cpi: np.ndarray    #: per-core CPI at this configuration
     min_perf: float              #: min over cores of CPI_max/CPI (<= 1)
+    #: Expected memory time per LLC miss (Eq. 9) at this configuration;
+    #: lets the multi-domain allocator re-price the compute term of each
+    #: core's CPI at a different core clock without re-deriving Eq. 9.
+    tpi_mem_ns: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -132,14 +136,16 @@ class CapAllocator:
 
         out: List[CapCandidate] = []
         for g in self._ladder:
-            cpi_g = perf.predict(delta, g, None,
-                                 profiled_freq=current_freq).cpi
+            pred_g = perf.predict(delta, g, None,
+                                  profiled_freq=current_freq)
+            cpi_g = pred_g.cpi
             scale = perf.time_scale(delta, current_freq, g, cache=cache)
             power_g = self._power.predict(delta, g, scale).memory_w
             out.append(CapCandidate(
                 global_point=g, channel_bus_mhz=None,
                 predicted_power_w=power_g, predicted_cpi=cpi_g,
-                min_perf=self._min_perf(cpi_g, cpi_max)))
+                min_perf=self._min_perf(cpi_g, cpi_max),
+                tpi_mem_ns=pred_g.tpi_mem_ns))
             if g.index >= len(self._ladder) - 1 or total_accesses <= 0:
                 continue
             lower = self._ladder[g.index + 1]
@@ -162,7 +168,8 @@ class CapAllocator:
                 out.append(CapCandidate(
                     global_point=g, channel_bus_mhz=tuple(channel_mhz),
                     predicted_power_w=power_k, predicted_cpi=cpi_k,
-                    min_perf=self._min_perf(cpi_k, cpi_max)))
+                    min_perf=self._min_perf(cpi_k, cpi_max),
+                    tpi_mem_ns=tpi_mem_g + extra_tpi_ns))
         return out
 
     def _min_perf(self, cpi: np.ndarray, cpi_max: np.ndarray) -> float:

@@ -30,13 +30,15 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.analysis import cap_summary_table, format_table
+from repro.analysis import (cap_summary_table, format_table,
+                            multidomain_summary_table)
 from repro.config import NS_PER_US, scaled_config
 from repro.cpu.stats import workload_stats
 from repro.cpu.workloads import MIXES, mix_names
 from repro.sim import experiments
 from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
-from repro.sim.parallel import run_cap_sweep, run_sweep, sweep_table
+from repro.sim.parallel import (run_cap_sweep, run_multidomain_sweep,
+                                run_sweep, sweep_table)
 from repro.sim.runner import (GOVERNOR_INFO, POLICY_NAMES, ExperimentRunner,
                               RunnerSettings, governor_listing)
 from repro.sim.telemetry import JsonlTelemetry
@@ -44,6 +46,11 @@ from repro.sim.telemetry import JsonlTelemetry
 #: Budget points of the cap smoke leg (`repro cap --smoke` and the
 #: capped leg of `repro bench --smoke`): a loose and a tight cap.
 SMOKE_BUDGET_FRACTIONS = (0.9, 0.75)
+
+#: Global-budget points of `repro multidomain --smoke`: a loose budget
+#: both domains could meet alone, and a tight one neither can — the
+#: point that demonstrates a coordinated split.
+SMOKE_MULTIDOMAIN_FRACTIONS = (0.8, 0.55)
 
 
 def _cache_from_args(args) -> Optional[ExperimentCache]:
@@ -283,13 +290,130 @@ def cmd_cap(args) -> None:
               f"(cap enforcement checks passed)")
 
 
+def _check_multidomain_outcomes(outcomes,
+                                require_coordinated_split: bool = False
+                                ) -> List[str]:
+    """Smoke-grade acceptance checks on a multi-domain sweep's outcomes.
+
+    Returns failure strings (empty = pass). Per global-budget point:
+    (a) the ledger accounted epochs and recorded zero violations on the
+    coordinated leg — the governor never exceeds the global budget;
+    (b) the coordinated leg beats the memory-only CapGovernor reference
+    on explicit-split system energy. With ``require_coordinated_split``
+    (the smoke), the tightest budget must also be a genuinely
+    *coordinated* split: infeasible for either domain alone at max
+    frequency, yet with feasible (core, memory) pairs found.
+    """
+    failures: List[str] = []
+    coordinated = [o for o in outcomes if o.coordinated]
+    memory_only = {(o.mix, o.budget_fraction): o
+                   for o in outcomes if not o.coordinated}
+    for o in coordinated:
+        label = f"{o.mix}/md{o.budget_fraction:.2f}"
+        summary = o.summary or {}
+        if not summary.get("epochs_accounted"):
+            failures.append(f"{label}: ledger accounted no epochs")
+            continue
+        if summary.get("violation_count", 0) > 0:
+            failures.append(
+                f"{label}: {summary['violation_count']} epochs exceeded "
+                f"the global budget {o.budget_w:.2f}W")
+        ref = memory_only.get((o.mix, o.budget_fraction))
+        if ref is not None and o.system_energy_j >= ref.system_energy_j:
+            failures.append(
+                f"{label}: coordinated system energy "
+                f"{o.system_energy_j:.4f}J does not beat the memory-only "
+                f"reference {ref.system_energy_j:.4f}J")
+    if coordinated and require_coordinated_split:
+        tight = min(coordinated, key=lambda o: o.budget_fraction)
+        label = f"{tight.mix}/md{tight.budget_fraction:.2f}"
+        summary = tight.summary or {}
+        if not summary.get("core_max_infeasible_epochs"):
+            failures.append(
+                f"{label}: budget never infeasible for nominal cores "
+                f"alone (no coordination needed)")
+        if not summary.get("mem_max_infeasible_epochs"):
+            failures.append(
+                f"{label}: budget never infeasible for max-frequency "
+                f"memory alone (no coordination needed)")
+        decided = summary.get("epochs_decided", 0)
+        if decided - summary.get("infeasible_epochs", 0) <= 0:
+            failures.append(
+                f"{label}: governor found no feasible (core, memory) "
+                f"pair in any epoch")
+    return failures
+
+
+def cmd_multidomain(args) -> None:
+    if args.smoke:
+        mixes = ["MID1"]
+        fractions = list(SMOKE_MULTIDOMAIN_FRACTIONS)
+        settings = RunnerSettings(cores=4, instructions_per_core=8_000,
+                                  seed=2011)
+    else:
+        mixes = args.mixes if args.mixes else mix_names("MID")
+        fractions = args.budgets
+        settings = RunnerSettings(cores=args.cores,
+                                  instructions_per_core=args.instructions,
+                                  seed=args.seed)
+    for mix in mixes:
+        _check_mix(mix)
+    if any(f <= 0 for f in fractions):
+        raise SystemExit("--budgets must be positive fractions of the "
+                         "baseline memory + nominal core power")
+    config = scaled_config()
+    if args.validate:
+        config = config.replace(validate_protocol=True)
+    if args.no_fast_forward:
+        config = config.replace(fast_forward=False)
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    start = time.perf_counter()
+    outcomes = run_multidomain_sweep(mixes, fractions, config=config,
+                                     settings=settings, jobs=args.jobs,
+                                     cache_dir=cache_dir,
+                                     telemetry_dir=args.telemetry)
+    wall = time.perf_counter() - start
+    rows = [experiments.multidomain_outcome_row(o) for o in outcomes]
+    print(multidomain_summary_table(
+        rows, title=f"multi-domain budget sweep: {len(mixes)} mixes x "
+                    f"{len(fractions)} global budgets "
+                    f"(+memory-only reference)"))
+    print("\nbudgets are fractions of each mix's baseline memory power "
+          "plus modeled\nnominal core power; MemOnly rows give the whole "
+          "remaining budget to a\nmemory-only CapGovernor (the "
+          "uncoordinated split)")
+    if args.validate:
+        print("protocol validator: armed on every simulated run, "
+              "zero violations")
+    if args.telemetry:
+        print(f"per-epoch telemetry JSONL files in {args.telemetry}/")
+    failures = _check_multidomain_outcomes(
+        outcomes, require_coordinated_split=args.smoke)
+    if failures:
+        raise SystemExit("MULTIDOMAIN CHECKS FAILED:\n  "
+                         + "\n  ".join(failures))
+    if args.smoke:
+        print(f"\nMULTIDOMAIN SMOKE OK: {len(outcomes)} runs "
+              f"({len(fractions)} budgets x coordinated+memory-only), "
+              f"{wall:.2f}s wall")
+    else:
+        print(f"\n{len(outcomes)} runs in {wall:.2f}s wall "
+              f"(budget-ledger checks passed)")
+
+
 def cmd_governors(args) -> None:
-    rows = [[name, mode, desc] for name, mode, desc in GOVERNOR_INFO]
-    print(format_table(["governor", "powerdown", "description"], rows,
-                       title="registered governors"))
+    rows = [[name, mode, knobs, doc, desc]
+            for name, mode, desc, knobs, doc in GOVERNOR_INFO]
+    print(format_table(
+        ["governor", "powerdown", "config knobs", "doc", "description"],
+        rows, title="registered governors"))
     print("\nthe first eight are accepted by `run --policy` and "
-          "`sweep --policies`;\nCap runs via `repro cap`, "
-          "MemScale/channel via the repro.core.extensions API")
+          "`sweep --policies`;\nCap runs via `repro cap`, MultiDomain "
+          "via `repro multidomain`,\nMemScale/channel via the "
+          "repro.core.extensions API\n"
+          "(protocol + worked example: docs/governors.md)")
 
 
 def cmd_bench(args) -> None:
@@ -543,6 +667,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p)
     _add_ff_arg(p)
     p.set_defaults(func=cmd_cap)
+
+    p = sub.add_parser("multidomain",
+                       help="coordinated CPU+memory sweep under one "
+                            "global power budget")
+    p.add_argument("--mixes", nargs="+", default=None, metavar="MIX",
+                   help="mixes to run (default: the four MID mixes)")
+    p.add_argument("--budgets", nargs="+", type=float,
+                   default=list(experiments.DEFAULT_MULTIDOMAIN_FRACTIONS),
+                   metavar="FRAC",
+                   help="global budgets as fractions of each mix's "
+                        "baseline memory + nominal core power "
+                        "(default: 1.0 .. 0.65)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny 2-point sweep on MID1 with acceptance "
+                        "checks (budget enforcement + coordinated split "
+                        "beats memory-only capping)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: up to 8, one per CPU)")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write one per-epoch telemetry JSONL file per run "
+                        "into DIR")
+    p.add_argument("--validate", action="store_true",
+                   help="arm the DDR3 protocol validator in every worker")
+    _add_scale_args(p)
+    _add_cache_args(p)
+    _add_ff_arg(p)
+    p.set_defaults(func=cmd_multidomain)
 
     p = sub.add_parser("governors",
                        help="list every registered governor")

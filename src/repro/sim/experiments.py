@@ -199,6 +199,75 @@ def cap_sweep(mixes: Optional[Sequence[str]] = None,
     return result
 
 
+#: Default multi-domain sweep: global (CPU + memory) budget from the
+#: uncoordinated reference power down to ~65% of it.
+DEFAULT_MULTIDOMAIN_FRACTIONS = (1.0, 0.9, 0.8, 0.7, 0.65)
+
+
+def multidomain_outcome_row(outcome) -> Dict[str, object]:
+    """Flatten one :class:`~repro.sim.parallel.MultiDomainOutcome` to a
+    row dict (the shape :func:`repro.analysis.multidomain_summary_table`
+    renders)."""
+    summary = outcome.summary or {}
+    return {
+        "workload": outcome.mix,
+        "governor": outcome.governor,
+        "coordinated": outcome.coordinated,
+        "budget_fraction": outcome.budget_fraction,
+        "budget_w": outcome.budget_w,
+        "avg_power_w": outcome.avg_power_w,
+        "avg_core_power_w": outcome.avg_core_power_w,
+        "avg_core_mhz": summary.get("avg_core_mhz"),
+        "violations": summary.get("violation_count"),
+        "time_over_frac": summary.get("time_over_cap_fraction"),
+        "infeasible_epochs": summary.get("infeasible_epochs"),
+        "core_max_infeasible_epochs":
+            summary.get("core_max_infeasible_epochs"),
+        "mem_max_infeasible_epochs":
+            summary.get("mem_max_infeasible_epochs"),
+        "min_perf": outcome.min_perf,
+        "worst_cpi_increase": outcome.comparison.worst_cpi_increase,
+        "system_energy_j": outcome.system_energy_j,
+    }
+
+
+def multidomain_sweep(mixes: Optional[Sequence[str]] = None,
+                      budget_fractions: Sequence[float] =
+                      DEFAULT_MULTIDOMAIN_FRACTIONS,
+                      config: Optional[SystemConfig] = None,
+                      settings: Optional[RunnerSettings] = None,
+                      jobs: Optional[int] = None,
+                      cache_dir: Optional[str] = None,
+                      telemetry_dir: Optional[str] = None,
+                      include_memory_only: bool = True) -> ExperimentResult:
+    """Coordinated CPU+memory budget sweep (the SysScale-style dual).
+
+    For each mix, sweeps a *global* power budget — a fraction of the
+    mix's baseline memory power plus modeled nominal core power — and
+    runs both the coordinated :class:`MultiDomainGovernor` and the
+    memory-only reference (a CapGovernor given the budget left after
+    nominal core power). Reports per-point violation, per-domain
+    infeasibility, fairness, and explicit-split system energy. Routed
+    through :func:`repro.sim.parallel.run_multidomain_sweep`.
+    """
+    from repro.sim.parallel import run_multidomain_sweep
+
+    mixes = list(mixes) if mixes is not None else mix_names("MID")
+    outcomes = run_multidomain_sweep(
+        mixes, budget_fractions, config=config, settings=settings,
+        jobs=jobs, cache_dir=cache_dir, telemetry_dir=telemetry_dir,
+        include_memory_only=include_memory_only)
+    result = ExperimentResult(
+        "multidomain_sweep",
+        notes="budgets are fractions of each mix's baseline memory power "
+              "plus modeled nominal core power; MemOnly rows give the "
+              "whole remaining budget to a memory-only CapGovernor "
+              "(the uncoordinated split)")
+    for outcome in outcomes:
+        result.rows.append(multidomain_outcome_row(outcome))
+    return result
+
+
 def timeline(runner: ExperimentRunner, mix: str) -> ExperimentResult:
     """Figures 7/8: per-epoch frequency / CPI / utilization series."""
     result_run, cmp = runner.run_memscale(mix)

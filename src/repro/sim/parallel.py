@@ -94,6 +94,44 @@ class CapOutcome:
     telemetry_path: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class MultiDomainJob:
+    """One unit of multi-domain-sweep work: a mix under one *global*
+    (CPU + memory) budget fraction.
+
+    ``coordinated=True`` runs the :class:`MultiDomainGovernor`;
+    ``coordinated=False`` runs the memory-only reference — a
+    :class:`CapGovernor` given whatever budget remains after nominal
+    core power, the uncoordinated split the tentpole must beat.
+    """
+
+    mix: str
+    budget_fraction: float
+    coordinated: bool
+
+
+@dataclass
+class MultiDomainOutcome:
+    """Result of one :class:`MultiDomainJob`, with per-domain accounting."""
+
+    mix: str
+    budget_fraction: float
+    budget_w: float                   #: absolute global budget (both legs)
+    governor: str
+    coordinated: bool
+    result: RunResult
+    comparison: PolicyComparison
+    min_perf: float                   #: min-app normalized performance
+    avg_power_w: float                #: run-average core + memory power
+    avg_core_power_w: float           #: modeled run-average core power
+    core_energy_j: float              #: modeled core energy over the run
+    system_energy_j: float            #: memory + core + other, explicit split
+    summary: Optional[Dict[str, object]]  #: ledger + per-domain counters
+    wall_s: float
+    cache_hits: int = 0
+    telemetry_path: Optional[str] = None
+
+
 @dataclass
 class SweepOutcome:
     """Result of one :class:`SweepJob`, with execution metadata."""
@@ -123,6 +161,12 @@ def cap_label(budget_fraction: Optional[float]) -> str:
     if budget_fraction is None:
         return "Throttle"
     return f"Cap{budget_fraction:.2f}"
+
+
+def multidomain_label(budget_fraction: float, coordinated: bool) -> str:
+    """Display/file label for one multi-domain sweep point."""
+    prefix = "MD" if coordinated else "MemOnly"
+    return f"{prefix}{budget_fraction:.2f}"
 
 
 # -- worker-side entry points (module level: must be picklable) -----------
@@ -213,6 +257,70 @@ def _run_cap_job(args: Tuple[SystemConfig, RunnerSettings, CapJob,
         result=result, comparison=comparison,
         min_perf=1.0 / (1.0 + comparison.worst_cpi_increase),
         avg_power_w=result.avg_memory_power_w, cap=cap,
+        wall_s=time.perf_counter() - start,
+        cache_hits=hits, telemetry_path=telemetry_path)
+
+
+def _run_multidomain_job(args: Tuple[SystemConfig, RunnerSettings,
+                                     MultiDomainJob, Optional[str],
+                                     Optional[str]]) -> MultiDomainOutcome:
+    """Fan-out task: one global-budget run (coordinated or memory-only).
+
+    System energy is assembled from an explicit per-domain split —
+    measured memory energy, *modeled* core energy, and the calibrated
+    "other" (rest-of-system minus nominal cores) power — so the
+    coordinated and memory-only legs are compared on identical terms.
+    The memory-only reference charges nominal core power for the whole
+    run; the coordinated leg charges the governor's ledgered core power.
+    """
+    config, settings, job, cache_dir, telemetry_dir = args
+    start = time.perf_counter()
+    runner = _make_runner(config, settings, cache_dir)
+    budget_w = (job.budget_fraction
+                * runner.multidomain_reference_power_w(job.mix))
+    core_ref_w = runner.baseline_core_power_w(job.mix)
+    other_w = runner.platform_other_power_w(job.mix)
+    if job.coordinated:
+        governor = runner.make_multidomain_governor(job.mix,
+                                                    budget_w=budget_w)
+    else:
+        # Memory-only reference: cores stay at nominal power, so the
+        # memory side gets whatever the global budget leaves (floored to
+        # keep the PowerBudget contract when cores alone exceed it).
+        governor = runner.make_cap_governor(
+            job.mix, budget_w=max(0.05, budget_w - core_ref_w))
+    telemetry = None
+    telemetry_path = None
+    if telemetry_dir is not None:
+        telemetry_path = str(Path(telemetry_dir) / telemetry_filename(
+            job.mix, multidomain_label(job.budget_fraction,
+                                       job.coordinated)))
+        telemetry = JsonlTelemetry(telemetry_path)
+    try:
+        result, comparison = runner.run_and_compare(
+            job.mix, governor, telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    sim_s = result.sim_time_s
+    if job.coordinated:
+        summary = governor.multidomain_summary()
+        avg_core_w = summary.get("avg_core_power_w") or core_ref_w
+    else:
+        summary = governor.cap_summary()
+        avg_core_w = core_ref_w
+    core_energy_j = avg_core_w * sim_s
+    system_energy_j = (result.memory_energy_j + core_energy_j
+                       + other_w * sim_s)
+    hits = runner.cache.hits if runner.cache is not None else 0
+    return MultiDomainOutcome(
+        mix=job.mix, budget_fraction=job.budget_fraction,
+        budget_w=budget_w, governor=governor.name,
+        coordinated=job.coordinated, result=result, comparison=comparison,
+        min_perf=1.0 / (1.0 + comparison.worst_cpi_increase),
+        avg_power_w=result.avg_memory_power_w + avg_core_w,
+        avg_core_power_w=avg_core_w, core_energy_j=core_energy_j,
+        system_energy_j=system_energy_j, summary=summary,
         wall_s=time.perf_counter() - start,
         cache_hits=hits, telemetry_path=telemetry_path)
 
@@ -352,6 +460,65 @@ def run_cap_sweep(mixes: Sequence[str],
         if cache_dir is not None:
             list(pool.map(_warm_mix, warm_args))
         return list(pool.map(_run_cap_job, job_args))
+
+
+def run_multidomain_sweep(mixes: Sequence[str],
+                          budget_fractions: Sequence[float],
+                          config: Optional[SystemConfig] = None,
+                          settings: Optional[RunnerSettings] = None,
+                          jobs: Optional[int] = None,
+                          cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR,
+                          telemetry_dir: Optional[PathLike] = None,
+                          include_memory_only: bool = True
+                          ) -> List[MultiDomainOutcome]:
+    """Evaluate every ``mix`` under every *global* budget, in parallel.
+
+    ``budget_fractions`` are global (CPU + memory) budgets expressed as
+    fractions of each mix's baseline memory power plus modeled nominal
+    core power (1.0 = uncoordinated reference power). With
+    ``include_memory_only`` each budget point also runs the memory-only
+    reference (``coordinated=False`` in its outcome): a
+    :class:`~repro.cap.governor.CapGovernor` given the budget left after
+    nominal core power — the split a coordinated governor must beat.
+
+    Outcomes are ordered ``(mix, fraction) x (coordinated, memory-only)``
+    in input order, so per-point pairs sit adjacent.
+    """
+    mixes = list(mixes)
+    if not mixes:
+        raise ValueError("need at least one mix")
+    _check_inputs(mixes, [])
+    fractions = [float(f) for f in budget_fractions]
+    if not fractions:
+        raise ValueError("need at least one budget fraction")
+    if any(f <= 0 for f in fractions):
+        raise ValueError("budget fractions must be positive")
+    config = config if config is not None else scaled_config()
+    settings = settings if settings is not None else RunnerSettings()
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    if telemetry_dir is not None:
+        Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
+        telemetry_dir = str(telemetry_dir)
+
+    legs = [True, False] if include_memory_only else [True]
+    md_jobs = [MultiDomainJob(mix, frac, coordinated)
+               for mix in mixes for frac in fractions
+               for coordinated in legs]
+    job_args = [(config, settings, job, cache_dir, telemetry_dir)
+                for job in md_jobs]
+
+    if jobs == 1:
+        return [_run_multidomain_job(args) for args in job_args]
+
+    warm_args = [(config, settings, mix, cache_dir) for mix in mixes]
+    with _executor(jobs) as pool:
+        if cache_dir is not None:
+            list(pool.map(_warm_mix, warm_args))
+        return list(pool.map(_run_multidomain_job, job_args))
 
 
 def generate_traces(mixes: Sequence[str],

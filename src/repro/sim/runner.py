@@ -48,44 +48,67 @@ POLICY_NAMES = (
     "MemScale", "MemScale(MemEnergy)", "MemScale+Fast-PD",
 )
 
-#: Every registered governor: (name, powerdown mode, one-line description).
+#: Every registered governor:
+#: (name, powerdown mode, one-line description, config knobs, doc link).
 #: The first eight are the sweep-able :data:`POLICY_NAMES`; the rest are
-#: reachable through their own entry points (``repro cap``, the
-#: extensions API). ``repro governors`` prints this table.
+#: reachable through their own entry points (``repro cap``,
+#: ``repro multidomain``, the extensions API). ``repro governors``
+#: prints this table; the knobs column names the constructor/config
+#: parameters that shape each governor's decisions.
 GOVERNOR_INFO = (
     ("Baseline", "none",
      "All ranks on at maximum frequency; the reference every run is "
-     "normalized against."),
+     "normalized against.",
+     "(none)", "docs/governors.md#baselines"),
     ("Fast-PD", "fast-exit",
-     "Baseline plus fast-exit precharge powerdown on idle ranks."),
+     "Baseline plus fast-exit precharge powerdown on idle ranks.",
+     "powerdown_mode", "docs/governors.md#baselines"),
     ("Slow-PD", "slow-exit",
-     "Baseline plus slow-exit (self-refresh-like) powerdown."),
+     "Baseline plus slow-exit (self-refresh-like) powerdown.",
+     "powerdown_mode", "docs/governors.md#baselines"),
     ("Static", "none",
-     "Boot-time static low bus frequency; never adapts at runtime."),
+     "Boot-time static low bus frequency; never adapts at runtime.",
+     "bus_mhz", "docs/governors.md#baselines"),
     ("Decoupled", "none",
-     "Decoupled DIMMs: full-speed channel with slow DRAM devices."),
+     "Decoupled DIMMs: full-speed channel with slow DRAM devices.",
+     "device_mhz", "docs/governors.md#baselines"),
     ("MemScale", "none",
      "The paper's policy: per-epoch SER-minimal frequency under the "
-     "CPI slowdown bound."),
+     "CPI slowdown bound.",
+     "policy.cpi_bound, policy.epoch_us, policy.profile_fraction",
+     "docs/governors.md#memscale"),
     ("MemScale(MemEnergy)", "none",
-     "MemScale variant minimizing memory energy only (Section 4.2.3)."),
+     "MemScale variant minimizing memory energy only (Section 4.2.3).",
+     "objective=MEMORY_ENERGY", "docs/governors.md#memscale"),
     ("MemScale+Fast-PD", "fast-exit",
-     "MemScale combined with fast-exit powerdown between requests."),
+     "MemScale combined with fast-exit powerdown between requests.",
+     "use_powerdown=True", "docs/governors.md#memscale"),
     ("MemScale/channel", "none",
      "MemScale with per-channel down-steps (Section 6 extension; "
-     "repro.core.extensions API)."),
+     "repro.core.extensions API).",
+     "policy.cpi_bound, per-channel ladder", "docs/governors.md#memscale"),
     ("Cap", "none",
      "Budget-enforcing max-min-fair governor over (MC x per-channel) "
-     "frequencies (run via `repro cap`)."),
+     "frequencies (run via `repro cap`).",
+     "budget_w | budget_fraction | schedule, tolerance_frac",
+     "docs/power-capping.md"),
+    ("MultiDomain", "none",
+     "Coordinated CPU+memory DVFS splitting one global budget between "
+     "domains (run via `repro multidomain`).",
+     "budget_w | budget_fraction, perf_bound, CoreDvfsConfig",
+     "docs/multidomain.md"),
 )
 
 
 def governor_listing() -> str:
     """Multi-line ``name (powerdown): description`` listing for errors
     and the ``repro governors`` subcommand."""
-    width = max(len(name) for name, _, _ in GOVERNOR_INFO)
-    return "\n".join(f"  {name:<{width}}  [{mode}]  {desc}"
-                     for name, mode, desc in GOVERNOR_INFO)
+    width = max(len(name) for name, *_ in GOVERNOR_INFO)
+    lines = [f"  {name:<{width}}  [{mode}]  {desc}"
+             for name, mode, desc, *_ in GOVERNOR_INFO]
+    lines.append("  (see docs/governors.md for the Governor protocol "
+                 "and per-governor knobs)")
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -244,6 +267,65 @@ class ExperimentRunner:
         allocator = CapAllocator(self.config, energy_model,
                                  n_cores=self.settings.cores)
         return CapGovernor(allocator, budget)
+
+    def baseline_core_power_w(self, mix: str) -> float:
+        """Modeled core-cluster power of the mix's baseline run at the
+        nominal core operating point — the core-domain reference every
+        multi-domain budget and energy comparison is expressed against."""
+        from repro.core.cpu_power import CorePowerModel
+        model = CorePowerModel(self.config)
+        return model.run_power_w(self.baseline(mix), model.nominal)
+
+    def multidomain_reference_power_w(self, mix: str) -> float:
+        """Reference power for multi-domain budget fractions: baseline
+        average memory power plus modeled nominal core power. A fraction
+        of this is the global budget, the analogue of the cap sweep's
+        fraction of baseline memory power."""
+        return (self.baseline(mix).avg_memory_power_w
+                + self.baseline_core_power_w(mix))
+
+    def platform_other_power_w(self, mix: str) -> float:
+        """Rest-of-system power *excluding* the modeled core cluster.
+
+        The calibrated rest-of-system power already contains the CPU
+        package; subtracting the modeled nominal core power leaves the
+        ``other`` component (fans, disks, board) so multi-domain system
+        energy can charge core energy explicitly without double
+        counting. Clamped at zero in case the core model exceeds the
+        calibration.
+        """
+        return max(0.0,
+                   self.rest_power_w(mix) - self.baseline_core_power_w(mix))
+
+    def make_multidomain_governor(self, mix: str,
+                                  budget_w: Optional[float] = None,
+                                  budget_fraction: Optional[float] = None,
+                                  tolerance_frac: float = 0.01,
+                                  perf_bound: Optional[float] = None
+                                  ) -> "MultiDomainGovernor":
+        """A coordinated CPU+memory governor for a *global* power budget.
+
+        The budget covers both domains: absolute ``budget_w`` watts, or
+        ``budget_fraction`` of :meth:`multidomain_reference_power_w`
+        (baseline memory power + nominal core power — how the
+        multi-domain sweep expresses budgets).
+        """
+        from repro.cap import (MultiDomainAllocator, MultiDomainGovernor,
+                               PowerBudget)
+        given = [budget_w is not None, budget_fraction is not None]
+        if sum(given) != 1:
+            raise ValueError("give exactly one of budget_w or "
+                             "budget_fraction")
+        if budget_fraction is not None:
+            if budget_fraction <= 0:
+                raise ValueError("budget_fraction must be positive")
+            budget_w = budget_fraction * self.multidomain_reference_power_w(mix)
+        budget = PowerBudget(watts=budget_w, tolerance_frac=tolerance_frac)
+        energy_model = EnergyModel(self.config, self.rest_power_w(mix))
+        allocator = MultiDomainAllocator(self.config, energy_model,
+                                         n_cores=self.settings.cores,
+                                         perf_bound=perf_bound)
+        return MultiDomainGovernor(allocator, budget)
 
     # -- comparisons --------------------------------------------------------------
 

@@ -31,8 +31,11 @@ PathLike = Union[str, Path]
 #: Version written into every record; bump on schema changes.
 #: v1: the original epoch record. v2: appends the nullable power-cap
 #: fields (``budget_w``, ``predicted_power_w``, ``cap_feasible``,
-#: ``min_perf_norm``). v1 files remain loadable.
-TELEMETRY_SCHEMA_VERSION = 2
+#: ``min_perf_norm``). v3: appends the nullable per-domain fields
+#: (``core_freq_mhz``, ``core_power_w``, ``domain_budget_split``)
+#: contributed by the multi-domain governor. v1/v2 files remain
+#: loadable.
+TELEMETRY_SCHEMA_VERSION = 3
 
 #: Field names of a v1 epoch record, in emission order.
 EPOCH_RECORD_FIELDS_V1 = (
@@ -43,11 +46,18 @@ EPOCH_RECORD_FIELDS_V1 = (
     "energy_j", "memory_power_w", "channel_util",
 )
 
-#: Field names of an epoch record, in emission order (the JSONL schema
-#: contract checked by tests and documented in EXPERIMENTS.md). The cap
-#: fields are null for every governor except :class:`CapGovernor`.
-EPOCH_RECORD_FIELDS = EPOCH_RECORD_FIELDS_V1 + (
+#: Field names of a v2 epoch record: v1 plus the power-cap fields,
+#: null for every governor without a budget.
+EPOCH_RECORD_FIELDS_V2 = EPOCH_RECORD_FIELDS_V1 + (
     "budget_w", "predicted_power_w", "cap_feasible", "min_perf_norm",
+)
+
+#: Field names of an epoch record, in emission order (the JSONL schema
+#: contract checked by tests and documented in EXPERIMENTS.md). The
+#: per-domain fields are null for every governor except
+#: :class:`~repro.cap.multidomain.MultiDomainGovernor`.
+EPOCH_RECORD_FIELDS = EPOCH_RECORD_FIELDS_V2 + (
+    "core_freq_mhz", "core_power_w", "domain_budget_split",
 )
 
 
@@ -107,9 +117,11 @@ def epoch_record(workload: str, governor: str, epoch: int,
     ``governor_state`` carries the policy-side fields contributed by
     :meth:`repro.core.governor.Governor.telemetry_snapshot`
     (``predicted_cpi``, ``slack_ns``, ``feasible_bus_mhz``,
-    ``limited_by_slack``, and the cap governor's ``budget_w``,
-    ``predicted_power_w``, ``cap_feasible``, ``min_perf_norm``);
-    governors without the matching model leave them ``None``.
+    ``limited_by_slack``, the cap governor's ``budget_w``,
+    ``predicted_power_w``, ``cap_feasible``, ``min_perf_norm``, and the
+    multi-domain governor's ``core_freq_mhz``, ``core_power_w``,
+    ``domain_budget_split``); governors without the matching model
+    leave them ``None``.
     """
     state = governor_state or {}
     return {
@@ -133,6 +145,9 @@ def epoch_record(workload: str, governor: str, epoch: int,
         "predicted_power_w": state.get("predicted_power_w"),
         "cap_feasible": state.get("cap_feasible"),
         "min_perf_norm": state.get("min_perf_norm"),
+        "core_freq_mhz": state.get("core_freq_mhz"),
+        "core_power_w": state.get("core_power_w"),
+        "domain_budget_split": state.get("domain_budget_split"),
     }
 
 
@@ -141,13 +156,15 @@ def validate_epoch_record(record: Dict[str, object]) -> None:
 
     Used by tests and by consumers replaying telemetry files from
     other runs; checks field presence, types, and the schema version.
-    Both current (v2) and historical v1 records are accepted — v1 files
-    simply lack the cap fields.
+    The current (v3) and both historical versions are accepted — v1
+    files lack the cap fields, v2 files lack the per-domain fields.
     """
     version = record.get("schema")
-    if version not in (1, TELEMETRY_SCHEMA_VERSION):
+    if version not in (1, 2, TELEMETRY_SCHEMA_VERSION):
         raise ValueError(f"unsupported telemetry schema {version!r}")
-    required = EPOCH_RECORD_FIELDS_V1 if version == 1 else EPOCH_RECORD_FIELDS
+    required = {1: EPOCH_RECORD_FIELDS_V1,
+                2: EPOCH_RECORD_FIELDS_V2}.get(version,
+                                               EPOCH_RECORD_FIELDS)
     missing = [f for f in required if f not in record]
     if missing:
         raise ValueError(f"epoch record missing fields: {missing}")
@@ -178,6 +195,16 @@ def validate_epoch_record(record: Dict[str, object]) -> None:
     if record["cap_feasible"] is not None \
             and not isinstance(record["cap_feasible"], bool):
         raise ValueError("field 'cap_feasible' must be a bool or null")
+    if version == 2:
+        return
+    for name in ("core_freq_mhz", "core_power_w"):
+        if record[name] is not None \
+                and not isinstance(record[name], (int, float)):
+            raise ValueError(f"field {name!r} must be a number or null")
+    if record["domain_budget_split"] is not None \
+            and not isinstance(record["domain_budget_split"], dict):
+        raise ValueError("field 'domain_budget_split' must be a dict "
+                         "or null")
 
 
 def load_telemetry(path: PathLike) -> List[Dict[str, object]]:

@@ -7,6 +7,7 @@ import pytest
 from repro.analysis import cap_summary_table
 from repro.config import NS_PER_US, scaled_config
 from repro.sim import load_telemetry, run_cap_sweep
+from repro.sim.telemetry import TELEMETRY_SCHEMA_VERSION
 from repro.sim.experiments import cap_outcome_row, cap_sweep
 from repro.sim.parallel import cap_label
 from repro.sim.runner import RunnerSettings
@@ -84,7 +85,8 @@ class TestRunCapSweep:
                             include_throttle=False)
         records = load_telemetry(out[0].telemetry_path)
         assert records
-        assert all(r["schema"] == 2 for r in records)
+        assert all(r["schema"] == TELEMETRY_SCHEMA_VERSION
+                   for r in records)
         assert all(r["budget_w"] is not None for r in records)
 
 

@@ -7,6 +7,7 @@ import pytest
 from repro.cap import BudgetSchedule, CapGovernor
 from repro.config import NS_PER_US, scaled_config
 from repro.sim import ListTelemetry
+from repro.sim.telemetry import TELEMETRY_SCHEMA_VERSION
 from repro.sim.runner import ExperimentRunner, RunnerSettings
 
 CFG = scaled_config(epoch_ns=20 * NS_PER_US, profile_ns=2 * NS_PER_US)
@@ -88,7 +89,7 @@ class TestRunUnderCap:
         cap_runner.run_governor("MID1", governor, telemetry=sink)
         assert sink.records
         for record in sink.records:
-            assert record["schema"] == 2
+            assert record["schema"] == TELEMETRY_SCHEMA_VERSION
             assert record["budget_w"] == pytest.approx(
                 governor.budget.min_watts)
             assert record["predicted_power_w"] > 0

@@ -21,8 +21,8 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for cmd in ("table1", "run", "figure", "timeline", "stats",
-                    "best-static", "sweep", "bench", "cap", "governors",
-                    "cache"):
+                    "best-static", "sweep", "bench", "cap", "multidomain",
+                    "governors", "cache"):
             args = parser.parse_args(
                 [cmd] + (["MID1"] if cmd in ("run", "timeline", "stats",
                                              "best-static") else
@@ -175,11 +175,23 @@ class TestGovernorsCommand:
 
         code, out = run_cli(capsys, "governors")
         assert code == 0
-        for name, _, _ in GOVERNOR_INFO:
+        for name, _, _, _, _ in GOVERNOR_INFO:
             assert name in out
         for name in POLICY_NAMES:
             assert name in out
         assert "MemScale/channel" in out
+        assert "MultiDomain" in out
+
+    def test_lists_config_knobs_and_doc_pointers(self, capsys):
+        from repro.sim.runner import GOVERNOR_INFO
+
+        code, out = run_cli(capsys, "governors")
+        assert code == 0
+        assert "config knobs" in out     # the knobs column
+        for _, _, _, knobs, doc in GOVERNOR_INFO:
+            assert knobs in out
+            assert doc in out
+        assert "docs/governors.md" in out
 
     def test_unknown_policy_error_names_alternatives(self, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -188,6 +200,36 @@ class TestGovernorsCommand:
         message = str(exc.value)
         assert "Bogus" in message
         assert "MemScale" in message  # the listing, not a bare KeyError
+        assert "docs/governors.md" in message  # the developer-guide pointer
+
+
+class TestMultiDomainCommand:
+    def test_multidomain_smoke_passes(self, capsys, tmp_path):
+        """The acceptance smoke: under a budget infeasible for either
+        domain alone, the coordinated governor finds a feasible split,
+        never exceeds the budget, and beats memory-only capping on
+        system energy (wired into tier-1 here)."""
+        code, out = run_cli(capsys, "multidomain", "--smoke", "--jobs", "1",
+                            "--cache-dir", str(tmp_path / "c"))
+        assert code == 0
+        assert "MULTIDOMAIN SMOKE OK" in out
+        assert "multi-domain budget sweep" in out
+        assert "MultiDomain-" in out and "Cap-" in out
+
+    def test_multidomain_custom_budgets(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "multidomain", "--mixes", "MID1", "--budgets", "0.8",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "c"),
+            "--instructions", "8000", "--cores", "4")
+        assert code == 0
+        assert "80%" in out        # the budget column
+        assert "core W" in out     # the per-domain split column
+
+    def test_multidomain_rejects_unknown_mix(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["multidomain", "--mixes", "NOPE", "--jobs", "1",
+                  "--cache-dir", str(tmp_path / "c"),
+                  "--instructions", "8000", "--cores", "4"])
 
 
 class TestValidateFlag:

@@ -1,0 +1,61 @@
+"""Smoke tests for the examples/ scripts.
+
+Each example is run as a real subprocess (the way a user runs it) at a
+tiny instruction count via the ``REPRO_EXAMPLE_INSTRUCTIONS`` override,
+and must exit cleanly while printing its headline output.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+# (script, string that must appear in stdout)
+EXAMPLES = [
+    ("quickstart.py", "bus frequencies used"),
+    ("phase_timeline.py", "system energy savings"),
+    ("policy_shootout.py", "Comparing"),
+    ("model_playground.py", "SER-minimal frequency"),
+    ("per_channel_dfs.py", "per-channel governor"),
+    ("custom_workload.py", "CPI increase"),
+    ("multidomain_budget.py", "Per-domain budget split"),
+]
+
+
+def run_example(script: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_EXAMPLE_INSTRUCTIONS"] = "8000"
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300, env=env,
+        cwd=str(REPO_ROOT))
+
+
+def test_every_example_is_covered():
+    on_disk = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert on_disk == sorted(name for name, _ in EXAMPLES)
+
+
+@pytest.mark.parametrize("script,needle", EXAMPLES,
+                         ids=[name for name, _ in EXAMPLES])
+def test_example_runs_clean(script, needle):
+    proc = run_example(script)
+    assert proc.returncode == 0, proc.stderr
+    assert needle in proc.stdout
+
+
+def test_unknown_mix_fails_with_message():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py"), "NOPE"],
+        capture_output=True, text=True, timeout=60, env=env,
+        cwd=str(REPO_ROOT))
+    assert proc.returncode != 0
+    assert "unknown mix" in proc.stderr

@@ -125,6 +125,89 @@ class TestSchema:
         with pytest.raises(ValueError, match="cap_feasible"):
             validate_epoch_record(record)
 
+    def test_per_domain_fields_default_to_null(self):
+        record = epoch_record(
+            workload="MID1", governor="MemScale", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        for name in ("core_freq_mhz", "core_power_w",
+                     "domain_budget_split"):
+            assert record[name] is None
+        validate_epoch_record(record)
+
+    def test_per_domain_fields_flow_from_governor_state(self):
+        record = epoch_record(
+            workload="MID1", governor="MultiDomain-25.00W", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[],
+            governor_state={"budget_w": 25.0, "predicted_power_w": 22.0,
+                            "cap_feasible": True, "min_perf_norm": 0.96,
+                            "core_freq_mhz": 3600.0, "core_power_w": 11.2,
+                            "domain_budget_split": {"core_w": 11.2,
+                                                    "memory_w": 10.8}})
+        assert record["core_freq_mhz"] == 3600.0
+        assert record["core_power_w"] == 11.2
+        assert record["domain_budget_split"]["memory_w"] == 10.8
+        validate_epoch_record(record)
+
+    def test_v2_records_still_accepted(self):
+        # Historical files written before the per-domain fields existed:
+        # the loader must accept them without the three v3 fields.
+        record = epoch_record(
+            workload="MID1", governor="Cap-20.00W", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        for name in ("core_freq_mhz", "core_power_w",
+                     "domain_budget_split"):
+            del record[name]
+        record["schema"] = 2
+        validate_epoch_record(record)
+
+    def test_v3_record_missing_per_domain_field_rejected(self):
+        record = epoch_record(
+            workload="MID1", governor="MultiDomain-25.00W", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        del record["domain_budget_split"]
+        with pytest.raises(ValueError, match="missing"):
+            validate_epoch_record(record)
+
+    def test_bad_per_domain_field_types_rejected(self):
+        record = epoch_record(
+            workload="MID1", governor="MultiDomain-25.00W", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[])
+        record["core_freq_mhz"] = "fast"
+        with pytest.raises(ValueError, match="core_freq_mhz"):
+            validate_epoch_record(record)
+        record["core_freq_mhz"] = None
+        record["domain_budget_split"] = [11.2, 10.8]
+        with pytest.raises(ValueError, match="domain_budget_split"):
+            validate_epoch_record(record)
+
+    def test_v3_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "md.jsonl"
+        with JsonlTelemetry(path) as sink:
+            sink.emit(epoch_record(
+                workload="MID1", governor="MultiDomain-25.00W", epoch=0,
+                t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+                actual_cpi={}, energy_j={}, memory_power_w=0.0,
+                channel_util=[],
+                governor_state={"core_freq_mhz": 3600.0,
+                                "core_power_w": 11.2,
+                                "domain_budget_split": {"core_w": 11.2,
+                                                        "memory_w": 10.8}}))
+        (record,) = load_telemetry(path)
+        assert record["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert record["core_freq_mhz"] == 3600.0
+        assert record["domain_budget_split"] == {"core_w": 11.2,
+                                                 "memory_w": 10.8}
+
 
 class TestSimulatorEmission:
     def test_disabled_by_default(self, runner):
