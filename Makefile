@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench bench-perf bench-perf-smoke sweep \
-	validate cache-stats clean-cache docs-links multidomain-smoke
+	validate cache-stats clean-cache docs-links multidomain-smoke \
+	service-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +43,14 @@ bench-perf-smoke:
 # feasible pair where neither domain alone could meet the cap.
 multidomain-smoke:
 	$(PYTHON) -m repro multidomain --smoke
+
+# Crash-safe sweep service end to end: tiny sweep with one injected
+# failing job (isolated as a failure record, not a sweep-wide raise),
+# resume executing only the unfinished job, and a store digest check
+# against an uninterrupted serial sweep. Leaves the queue + result
+# store in .repro_service_smoke/ for inspection (`repro query --dir`).
+service-smoke:
+	$(PYTHON) -m repro service smoke
 
 # Fail on dangling intra-repo references in README/docs/EXPERIMENTS/
 # DESIGN (markdown links and backtick-quoted paths).

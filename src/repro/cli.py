@@ -10,6 +10,9 @@ Every experiment is reachable from the shell::
     python -m repro bench --smoke
     python -m repro perfbench
     python -m repro cache --prune
+    python -m repro service run --dir sweeps --mixes MID1 --policies MemScale
+    python -m repro service resume --dir sweeps
+    python -m repro query --dir sweeps --status failed
     python -m repro figure 5
     python -m repro timeline MID3
     python -m repro stats MEM1
@@ -38,7 +41,7 @@ from repro.cpu.workloads import MIXES, mix_names
 from repro.sim import experiments
 from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
 from repro.sim.parallel import (run_cap_sweep, run_multidomain_sweep,
-                                run_sweep, sweep_table)
+                                run_sweep, split_outcomes, sweep_table)
 from repro.sim.runner import (GOVERNOR_INFO, POLICY_NAMES, ExperimentRunner,
                               RunnerSettings, governor_listing)
 from repro.sim.telemetry import JsonlTelemetry
@@ -51,6 +54,20 @@ SMOKE_BUDGET_FRACTIONS = (0.9, 0.75)
 #: both domains could meet alone, and a tight one neither can — the
 #: point that demonstrates a coordinated split.
 SMOKE_MULTIDOMAIN_FRACTIONS = (0.8, 0.55)
+
+#: Default directory of `repro service smoke` (the CI artifact).
+SERVICE_SMOKE_DIR = ".repro_service_smoke"
+
+
+def _report_failures(failed, what: str) -> None:
+    """Print failed-job records and exit non-zero; a sweep with one bad
+    job still printed its N-1 good rows before landing here."""
+    if not failed:
+        return
+    lines = [f.summary() for f in failed]
+    raise SystemExit(f"{what}: {len(failed)} job(s) FAILED "
+                     f"(good outcomes above are complete):\n  "
+                     + "\n  ".join(lines))
 
 
 def _cache_from_args(args) -> Optional[ExperimentCache]:
@@ -102,6 +119,13 @@ def _add_cache_args(parser: argparse.ArgumentParser,
                              f"(default: {note})")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk cache")
+
+
+def _add_retries_arg(parser: argparse.ArgumentParser,
+                     default: int = 0) -> None:
+    parser.add_argument("--retries", type=int, default=default,
+                        help="extra attempts per job before recording "
+                             f"its failure (default {default})")
 
 
 def _check_mix(mix: str) -> str:
@@ -179,8 +203,10 @@ def cmd_sweep(args) -> None:
     start = time.perf_counter()
     outcomes = run_sweep(mixes, policies, config=config, settings=settings,
                          jobs=args.jobs, cache_dir=cache_dir,
-                         telemetry_dir=args.telemetry)
+                         telemetry_dir=args.telemetry,
+                         retries=args.retries)
     wall = time.perf_counter() - start
+    good, failed = split_outcomes(outcomes)
     print(format_table(
         ["workload", "policy", "mem savings", "sys savings",
          "worst CPI", "job wall"],
@@ -188,7 +214,7 @@ def cmd_sweep(args) -> None:
         title=f"sweep: {len(mixes)} mixes x {len(policies)} policies"))
     jobs = args.jobs if args.jobs is not None else "auto"
     cache_note = cache_dir if cache_dir is not None else "disabled"
-    print(f"\n{len(outcomes)} runs in {wall:.2f}s wall "
+    print(f"\n{len(good)} runs in {wall:.2f}s wall "
           f"(jobs={jobs}, cache={cache_note})")
     if args.validate:
         print("protocol validator: armed on every simulated run, "
@@ -197,9 +223,10 @@ def cmd_sweep(args) -> None:
         print(f"per-epoch telemetry JSONL files in {args.telemetry}/")
     if args.save:
         from repro.sim.serialize import save_results
-        save_results(args.save, [o.result for o in outcomes]
-                     + [o.comparison for o in outcomes])
+        save_results(args.save, [o.result for o in good]
+                     + [o.comparison for o in good])
         print(f"results saved to {args.save}")
+    _report_failures(failed, "sweep")
 
 
 def _check_cap_outcomes(outcomes) -> List[str]:
@@ -265,8 +292,10 @@ def cmd_cap(args) -> None:
     outcomes = run_cap_sweep(mixes, fractions, config=config,
                              settings=settings, jobs=args.jobs,
                              cache_dir=cache_dir,
-                             telemetry_dir=args.telemetry)
+                             telemetry_dir=args.telemetry,
+                             retries=args.retries)
     wall = time.perf_counter() - start
+    outcomes, failed_jobs = split_outcomes(outcomes)
     rows = [experiments.cap_outcome_row(o) for o in outcomes]
     print(cap_summary_table(
         rows, title=f"power-cap sweep: {len(mixes)} mixes x "
@@ -282,6 +311,7 @@ def cmd_cap(args) -> None:
     failures = _check_cap_outcomes(outcomes)
     if failures:
         raise SystemExit("CAP CHECKS FAILED:\n  " + "\n  ".join(failures))
+    _report_failures(failed_jobs, "cap sweep")
     if args.smoke:
         print(f"\nCAP SMOKE OK: {len(outcomes)} runs "
               f"({len(fractions)} budgets + throttle), {wall:.2f}s wall")
@@ -373,8 +403,10 @@ def cmd_multidomain(args) -> None:
     outcomes = run_multidomain_sweep(mixes, fractions, config=config,
                                      settings=settings, jobs=args.jobs,
                                      cache_dir=cache_dir,
-                                     telemetry_dir=args.telemetry)
+                                     telemetry_dir=args.telemetry,
+                                     retries=args.retries)
     wall = time.perf_counter() - start
+    outcomes, failed_jobs = split_outcomes(outcomes)
     rows = [experiments.multidomain_outcome_row(o) for o in outcomes]
     print(multidomain_summary_table(
         rows, title=f"multi-domain budget sweep: {len(mixes)} mixes x "
@@ -394,6 +426,7 @@ def cmd_multidomain(args) -> None:
     if failures:
         raise SystemExit("MULTIDOMAIN CHECKS FAILED:\n  "
                          + "\n  ".join(failures))
+    _report_failures(failed_jobs, "multidomain sweep")
     if args.smoke:
         print(f"\nMULTIDOMAIN SMOKE OK: {len(outcomes)} runs "
               f"({len(fractions)} budgets x coordinated+memory-only), "
@@ -434,8 +467,9 @@ def cmd_bench(args) -> None:
                          settings=settings, jobs=args.jobs,
                          cache_dir=cache_dir)
     wall = time.perf_counter() - start
-    failures = []
-    for o in outcomes:
+    good, failed_jobs = split_outcomes(outcomes)
+    failures = [f.summary() for f in failed_jobs]
+    for o in good:
         if o.result.epochs <= 0:
             failures.append(f"{o.mix}/{o.policy}: no epochs simulated")
         if not -1.0 <= o.comparison.system_energy_savings <= 1.0:
@@ -460,9 +494,10 @@ def cmd_bench(args) -> None:
     # Capped leg: a 2-point budget sweep through the same parallel path
     # (cache shared with the sweep above), checking the power-capping
     # governor's no-silent-overshoot and fairness guarantees in tier-1.
-    cap_outcomes = run_cap_sweep(
+    cap_outcomes, cap_failed = split_outcomes(run_cap_sweep(
         ["MID1"], SMOKE_BUDGET_FRACTIONS, config=config,
-        settings=settings, jobs=args.jobs, cache_dir=cache_dir)
+        settings=settings, jobs=args.jobs, cache_dir=cache_dir))
+    failures.extend(f.summary() for f in cap_failed)
     failures.extend(_check_cap_outcomes(cap_outcomes))
     print(format_table(
         ["workload", "policy", "mem savings", "sys savings",
@@ -504,12 +539,235 @@ def cmd_cache(args) -> None:
     if stats["legacy_trace_entries"]:
         print(f"  legacy (.npz)  : {stats['legacy_trace_entries']}")
     print(f"run entries      : {stats['run_entries']}")
+    if stats["orphan_files"]:
+        print(f"orphan files     : {stats['orphan_files']} "
+              f"(half-deleted columnar entries; --prune sweeps them)")
     print(f"on-disk size     : {stats['total_bytes'] / 1e6:.2f} MB "
           f"({stats['total_bytes']} bytes)")
     if args.prune:
         removed = cache.prune()
         print(f"pruned {removed['files_removed']} files "
               f"({removed['bytes_removed'] / 1e6:.2f} MB)")
+
+
+def _service_specs(args):
+    """Build the JobSpec list a `repro service run` invocation asks for."""
+    from repro.sim import service as svc
+
+    mixes = args.mixes if args.mixes else ["MID1"]
+    for mix in mixes:
+        _check_mix(mix)
+    if args.kind == "policy":
+        for policy in args.policies:
+            if policy not in POLICY_NAMES:
+                raise SystemExit(
+                    f"unknown policy {policy!r}; registered governors "
+                    f"are:\n{governor_listing()}")
+        return svc.policy_specs(mixes, args.policies)
+    if not args.budgets:
+        raise SystemExit(f"--kind {args.kind} needs --budgets")
+    if any(f <= 0 for f in args.budgets):
+        raise SystemExit("--budgets must be positive fractions")
+    if args.kind == "cap":
+        return svc.cap_specs(mixes, args.budgets)
+    return svc.multidomain_specs(mixes, args.budgets)
+
+
+def _service_report(service, outcomes, wall: float, verb: str) -> None:
+    """Shared tail of `service run` / `service resume`."""
+    from repro.sim.parallel import (JobFailure, cap_label,
+                                    multidomain_label)
+
+    def point(o) -> str:
+        if hasattr(o, "policy"):
+            return o.policy
+        if hasattr(o, "coordinated"):
+            return multidomain_label(o.budget_fraction, o.coordinated)
+        return cap_label(o.budget_fraction)
+
+    good, failed = split_outcomes(outcomes)
+    rows = []
+    for o in outcomes:
+        if isinstance(o, JobFailure):
+            rows.append([o.mix, o.label.split("/", 1)[-1], "FAILED",
+                         f"{o.error_type}: {o.message}"])
+        else:
+            rows.append([o.mix, point(o), "ok",
+                         f"sys {o.comparison.system_energy_savings:+.1%}"])
+    status = service.status()
+    print(format_table(["workload", "point", "status", "detail"], rows,
+                       title=f"service {verb}: {status['root']}"))
+    print(f"\n{status['ok']} ok, {status['failed']} failed, "
+          f"{status['pending'] - status['failed']} never-ran of "
+          f"{status['enqueued']} enqueued ({wall:.2f}s wall); "
+          f"store: {service.store.root}")
+    if failed:
+        print("failed jobs (a later `repro service resume` retries "
+              "them):\n  " + "\n  ".join(f.summary() for f in failed))
+
+
+def cmd_service(args) -> None:
+    from repro.sim import service as svc
+
+    try:
+        _cmd_service(args, svc)
+    except svc.ServiceError as exc:
+        raise SystemExit(str(exc))
+
+
+def _cmd_service(args, svc) -> None:
+    if args.service_command == "status":
+        service = svc.SweepService.open(args.dir)
+        status = service.status()
+        for key in ("root", "enqueued", "ok", "failed", "pending",
+                    "ledger_lines_skipped", "jobs", "retries"):
+            print(f"{key:21}: {status[key]}")
+        for key, spec in service.pending():
+            state = service.store.status(key) or "never ran"
+            print(f"  pending: {spec.label} ({state})")
+        return
+
+    if args.service_command == "resume":
+        service = svc.SweepService.open(args.dir, jobs=args.jobs,
+                                        retries=args.retries)
+        start = time.perf_counter()
+        outcomes = service.resume()
+        _service_report(service, outcomes, time.perf_counter() - start,
+                        "resume")
+        return
+
+    if args.service_command == "smoke":
+        _service_smoke(args)
+        return
+
+    # run
+    settings = RunnerSettings(cores=args.cores,
+                              instructions_per_core=args.instructions,
+                              seed=args.seed)
+    config = scaled_config()
+    if args.validate:
+        config = config.replace(validate_protocol=True)
+    if args.no_fast_forward:
+        config = config.replace(fast_forward=False)
+    service = svc.SweepService(args.dir, config=config, settings=settings,
+                               telemetry_dir=args.telemetry,
+                               jobs=args.jobs, retries=args.retries)
+    specs = _service_specs(args)
+    start = time.perf_counter()
+    outcomes = service.run(specs, fail_labels=args.fail_label or None)
+    _service_report(service, outcomes, time.perf_counter() - start, "run")
+
+
+def _service_smoke(args) -> None:
+    """CI leg: tiny sweep with one injected failing job, resume, query.
+
+    Exercises the whole crash-safe path — failure record instead of a
+    sweep-wide raise, resume executing only the unfinished job, store
+    identical (by deterministic digest) to what a straight serial sweep
+    produces.
+    """
+    import shutil
+
+    from repro.sim import service as svc
+    from repro.sim.serialize import run_result_to_dict
+    from repro.sim.store import deterministic_digest
+
+    directory = args.dir if args.dir else SERVICE_SMOKE_DIR
+    shutil.rmtree(directory, ignore_errors=True)
+    settings = RunnerSettings(cores=4, instructions_per_core=8_000,
+                              seed=2011)
+    mixes, policies = ["MID1"], ["Static", "MemScale"]
+    poison = "MID1/MemScale"
+    failures: List[str] = []
+    start = time.perf_counter()
+
+    service = svc.SweepService(directory, settings=settings,
+                               jobs=args.jobs, retries=0)
+    outcomes = service.run(svc.policy_specs(mixes, policies),
+                           fail_labels=[poison])
+    good, failed = split_outcomes(outcomes)
+    if len(good) != len(policies) - 1 or len(failed) != 1:
+        failures.append(f"poisoned run: expected {len(policies) - 1} ok "
+                        f"+ 1 failure, got {len(good)} ok "
+                        f"+ {len(failed)} failed")
+    elif failed[0].error_type != "InjectedFailure":
+        failures.append(f"failure record carries {failed[0].error_type}, "
+                        "expected InjectedFailure")
+
+    # Interrupted-then-resumed service == uninterrupted serial sweep.
+    resumed = svc.SweepService.open(directory).resume()
+    _, still_failed = split_outcomes(resumed)
+    if still_failed:
+        failures.append("resume did not heal the injected failure")
+    reference = run_sweep(mixes, policies, settings=settings, jobs=1,
+                          cache_dir=service.cache_dir)
+    by_key = {(o.mix, o.policy): o for o in resumed
+              if not isinstance(o, svc.JobFailure)}
+    for ref in reference:
+        mine = by_key.get((ref.mix, ref.policy))
+        if mine is None or (run_result_to_dict(mine.result)
+                            != run_result_to_dict(ref.result)):
+            failures.append(f"{ref.mix}/{ref.policy}: resumed result "
+                            "differs from the uninterrupted serial run")
+    digests = {r["key"]: deterministic_digest(r)
+               for r in service.store.records()}
+    if len(digests) != len(policies):
+        failures.append(f"store holds {len(digests)} records, "
+                        f"expected {len(policies)}")
+
+    # Query path over the accumulated store.
+    hits = service.store.query(mix="MID1", status="ok")
+    if len(hits) != len(policies):
+        failures.append(f"query returned {len(hits)} ok records, "
+                        f"expected {len(policies)}")
+
+    wall = time.perf_counter() - start
+    if failures:
+        raise SystemExit("SERVICE SMOKE FAILED:\n  "
+                         + "\n  ".join(failures))
+    print(f"service: poisoned job isolated ({poison}), "
+          f"{len(good)} good outcomes preserved")
+    print(f"service: resume healed the failure; store byte-identical "
+          f"to the uninterrupted serial sweep")
+    print(f"query: {len(hits)} ok records for MID1")
+    print(f"\nSERVICE SMOKE OK: store in {directory}/, {wall:.2f}s wall")
+
+
+def cmd_query(args) -> None:
+    import json as _json
+
+    from repro.sim.store import ResultStore
+    from repro.sim.service import STORE_NAME
+
+    root = f"{args.dir}/{STORE_NAME}"
+    store = ResultStore(root)
+    records = store.query(mix=args.mix, policy=args.policy,
+                          kind=args.kind, status=args.status)
+    if args.jsonl:
+        for record in records:
+            print(_json.dumps(record))
+        return
+    rows = []
+    for record in records:
+        job = record.get("job", {})
+        if record["status"] == "ok":
+            outcome = record.get("outcome", {})
+            comparison = outcome.get("comparison", {})
+            detail = (f"sys {comparison.get('system_energy_savings', 0):+.1%}"
+                      if comparison else "-")
+        else:
+            error = record.get("error", {})
+            detail = f"{error.get('error_type')}: {error.get('message')}"
+        rows.append([job.get("mix", "?"),
+                     job.get("label", "?").split("/", 1)[-1],
+                     job.get("kind", "?"), record["status"],
+                     str(record.get("attempts", 1)), detail])
+    counts = store.counts()
+    print(format_table(
+        ["workload", "point", "kind", "status", "attempts", "detail"],
+        rows, title=f"result store: {root}"))
+    print(f"\n{len(records)} of {counts['total']} records matched "
+          f"({counts['ok']} ok, {counts['failed']} failed in store)")
 
 
 def cmd_figure(args) -> None:
@@ -641,6 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p)
     _add_cache_args(p)
     _add_ff_arg(p)
+    _add_retries_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("cap",
@@ -666,6 +925,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p)
     _add_cache_args(p)
     _add_ff_arg(p)
+    _add_retries_arg(p)
     p.set_defaults(func=cmd_cap)
 
     p = sub.add_parser("multidomain",
@@ -693,6 +953,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p)
     _add_cache_args(p)
     _add_ff_arg(p)
+    _add_retries_arg(p)
     p.set_defaults(func=cmd_multidomain)
 
     p = sub.add_parser("governors",
@@ -739,6 +1000,92 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prune", action="store_true",
                    help="delete every cached entry after printing stats")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("service",
+                       help="crash-safe sweep service: persistent queue "
+                            "+ resumable result store")
+    ssub = p.add_subparsers(dest="service_command", required=True)
+
+    sp = ssub.add_parser("run", help="enqueue a sweep and execute it "
+                                     "(idempotent: reruns only add "
+                                     "missing jobs)")
+    sp.add_argument("--dir", required=True, metavar="DIR",
+                    help="service directory (queue.jsonl + store/ + "
+                         "cache/)")
+    sp.add_argument("--kind", choices=["policy", "cap", "multidomain"],
+                    default="policy",
+                    help="sweep flavour (default policy)")
+    sp.add_argument("--mixes", nargs="+", default=None, metavar="MIX",
+                    help="mixes to sweep (default: MID1)")
+    sp.add_argument("--policies", nargs="+", default=["MemScale"],
+                    metavar="POLICY",
+                    help=f"policies from {POLICY_NAMES} (kind=policy)")
+    sp.add_argument("--budgets", nargs="+", type=float, default=None,
+                    metavar="FRAC",
+                    help="budget fractions (kind=cap/multidomain)")
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: up to 8, one per "
+                         "CPU)")
+    sp.add_argument("--telemetry", default=None, metavar="DIR",
+                    help="write per-epoch telemetry JSONL files into DIR")
+    sp.add_argument("--validate", action="store_true",
+                    help="arm the DDR3 protocol validator in every "
+                         "worker")
+    sp.add_argument("--fail-label", nargs="+", default=None,
+                    metavar="MIX/POINT",
+                    help="inject a deterministic failure into the named "
+                         "jobs (testing hook, e.g. MID1/MemScale)")
+    _add_scale_args(sp)
+    _add_ff_arg(sp)
+    _add_retries_arg(sp, default=1)
+    sp.set_defaults(func=cmd_service)
+
+    sp = ssub.add_parser("resume",
+                         help="finish an interrupted sweep: execute only "
+                              "the jobs without a successful store "
+                              "record")
+    sp.add_argument("--dir", required=True, metavar="DIR")
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="override the recorded worker count")
+    sp.add_argument("--retries", type=int, default=None,
+                    help="override the recorded retry budget")
+    sp.set_defaults(func=cmd_service)
+
+    sp = ssub.add_parser("status",
+                         help="queue/store progress of a service "
+                              "directory")
+    sp.add_argument("--dir", required=True, metavar="DIR")
+    sp.set_defaults(func=cmd_service)
+
+    sp = ssub.add_parser("smoke",
+                         help="CI leg: tiny sweep with one injected "
+                              "failing job, resume, query, store "
+                              "digest check")
+    sp.add_argument("--dir", default=None, metavar="DIR",
+                    help=f"service directory (default "
+                         f"{SERVICE_SMOKE_DIR}; recreated fresh)")
+    sp.add_argument("--jobs", type=int, default=2,
+                    help="worker processes (default 2)")
+    sp.set_defaults(func=cmd_service)
+
+    p = sub.add_parser("query",
+                       help="query a service directory's accumulated "
+                            "result store")
+    p.add_argument("--dir", required=True, metavar="DIR",
+                   help="service directory (the `service run --dir`)")
+    p.add_argument("--mix", default=None, help="filter by mix")
+    p.add_argument("--policy", default=None,
+                   help="filter by point (policy name, Cap0.80, "
+                        "MD0.70, ...)")
+    p.add_argument("--kind", default=None,
+                   choices=["policy", "cap", "multidomain"],
+                   help="filter by sweep flavour")
+    p.add_argument("--status", default=None, choices=["ok", "failed"],
+                   help="filter by record status")
+    p.add_argument("--jsonl", action="store_true",
+                   help="emit raw store records as JSONL instead of a "
+                        "table")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int)

@@ -358,6 +358,47 @@ class SystemConfig:
         }
 
 
+def config_to_dict(config: SystemConfig) -> Dict[str, object]:
+    """JSON-ready dictionary capturing every field of ``config``.
+
+    The inverse of :func:`config_from_dict`; the sweep service's
+    persistent job ledger stores this so an interrupted sweep can be
+    resumed by a later process with the exact same configuration.
+    """
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(payload: Dict[str, object]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output.
+
+    Unknown top-level keys are rejected (a payload from a newer code
+    version should fail loudly, not silently drop a knob); the result
+    is validated before being returned.
+    """
+    known = {f.name for f in dataclasses.fields(SystemConfig)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown SystemConfig fields in payload: {sorted(unknown)}")
+    sections = {
+        "timings": DramTimings, "currents": DramCurrents,
+        "org": MemoryOrgConfig, "cpu": CpuConfig,
+        "power": PowerConfig, "policy": PolicyConfig,
+    }
+    kwargs: Dict[str, object] = {}
+    for name, cls in sections.items():
+        if name in payload:
+            kwargs[name] = cls(**payload[name])
+    if "bus_freqs_mhz" in payload:
+        kwargs["bus_freqs_mhz"] = tuple(payload["bus_freqs_mhz"])
+    for flag in ("validate_protocol", "fast_forward"):
+        if flag in payload:
+            kwargs[flag] = bool(payload[flag])
+    config = SystemConfig(**kwargs)
+    config.validate()
+    return config
+
+
 def default_config() -> SystemConfig:
     """The paper's Table 2 configuration."""
     cfg = SystemConfig()

@@ -36,7 +36,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config import SystemConfig
 from repro.cpu.trace import WorkloadTrace, columnar_sidecar_path
@@ -197,27 +197,61 @@ class ExperimentCache:
 
     @property
     def entries(self) -> int:
-        """Number of cache entries currently on disk."""
+        """Number of *usable* cache entries currently on disk.
+
+        Columnar trace entries count only when both halves (``.npy``
+        plus its sidecar) exist — a lone half can never be loaded.
+        """
         if not self.root.exists():
             return 0
-        return (sum(1 for _ in self.root.glob("traces/*.npy"))
+        complete, _ = self._scan_traces()
+        return (len(complete)
                 + sum(1 for _ in self.root.glob("traces/*.npz"))
                 + sum(1 for _ in self.root.glob("runs/*.json")))
+
+    def _scan_traces(self) -> Tuple[List[Path], List[Path]]:
+        """Columnar trace files on disk: ``(complete, orphans)``.
+
+        ``complete`` holds the ``.npy`` paths whose sidecar is present;
+        ``orphans`` holds lone halves — a ``.npy`` missing its sidecar
+        or a sidecar missing its data file, the residue of an
+        interrupted writer or a half-finished prune. Orphans are dead
+        weight: :meth:`load_trace` will never trust them, so stats must
+        not count them as entries and :meth:`prune` sweeps them.
+        """
+        complete: List[Path] = []
+        orphans: List[Path] = []
+        traces = self.root / "traces"
+        if not traces.exists():
+            return complete, orphans
+        npys = set(traces.glob("*.npy"))
+        sidecars = set(traces.glob("*.npy.meta.json"))
+        for npy in sorted(npys):
+            if columnar_sidecar_path(npy) in sidecars:
+                complete.append(npy)
+            else:
+                orphans.append(npy)
+        for sidecar in sorted(sidecars):
+            data = Path(str(sidecar)[:-len(".meta.json")])
+            if data not in npys:
+                orphans.append(sidecar)
+        return complete, orphans
 
     def stats(self) -> Dict[str, object]:
         """Entry counts and on-disk footprint (for ``repro cache``)."""
         trace_entries = legacy_trace_entries = run_entries = 0
+        orphan_files = 0
         total_bytes = 0
         if self.root.exists():
+            complete, orphans = self._scan_traces()
+            trace_entries = len(complete)
+            orphan_files = len(orphans)
             for path in self.root.rglob("*"):
                 if not path.is_file():
                     continue
                 total_bytes += path.stat().st_size
-                if path.parent.name == "traces":
-                    if path.suffix == ".npy":
-                        trace_entries += 1
-                    elif path.suffix == ".npz":
-                        legacy_trace_entries += 1
+                if path.parent.name == "traces" and path.suffix == ".npz":
+                    legacy_trace_entries += 1
                 elif path.parent.name == "runs" and path.suffix == ".json":
                     run_entries += 1
         return {
@@ -225,20 +259,40 @@ class ExperimentCache:
             "trace_entries": trace_entries,
             "legacy_trace_entries": legacy_trace_entries,
             "run_entries": run_entries,
+            "orphan_files": orphan_files,
             "total_bytes": total_bytes,
         }
 
     def prune(self) -> Dict[str, int]:
         """Delete every entry (traces, sidecars, runs); returns what was
-        removed. The root directory itself is kept."""
+        removed. The root directory itself is kept.
+
+        Columnar entries are removed pair-wise, data half first: an
+        interruption between the two unlinks leaves an orphan
+        *sidecar*, which readers already refuse to load and the next
+        prune (or stats) treats as stale rather than as an entry.
+        Pre-existing orphan halves are swept the same way.
+        """
         files_removed = 0
         bytes_removed = 0
+
+        def _rm(path: Path) -> None:
+            nonlocal files_removed, bytes_removed
+            if path.is_file():
+                bytes_removed += path.stat().st_size
+                path.unlink()
+                files_removed += 1
+
         if self.root.exists():
+            complete, orphans = self._scan_traces()
+            for npy in complete:
+                _rm(npy)
+                _rm(columnar_sidecar_path(npy))
+            for orphan in orphans:
+                _rm(orphan)
             for path in sorted(self.root.rglob("*"), reverse=True):
                 if path.is_file():
-                    bytes_removed += path.stat().st_size
-                    path.unlink()
-                    files_removed += 1
+                    _rm(path)
                 elif path.is_dir():
                     try:
                         path.rmdir()

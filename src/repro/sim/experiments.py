@@ -182,19 +182,22 @@ def cap_sweep(mixes: Optional[Sequence[str]] = None,
     through :func:`repro.sim.parallel.run_cap_sweep`, so runs share the
     on-disk trace/baseline cache with every other experiment.
     """
-    from repro.sim.parallel import run_cap_sweep
+    from repro.sim.parallel import run_cap_sweep, split_outcomes
 
     mixes = list(mixes) if mixes is not None else mix_names("MID")
     outcomes = run_cap_sweep(
         mixes, budget_fractions, config=config, settings=settings,
         jobs=jobs, cache_dir=cache_dir, telemetry_dir=telemetry_dir,
         include_throttle=include_throttle)
-    result = ExperimentResult(
-        "cap_sweep",
-        notes="budgets are fractions of each mix's baseline average "
-              "memory power; Throttle rows pin the slowest static "
-              "frequency (the naive capping alternative)")
-    for outcome in outcomes:
+    good, failed = split_outcomes(outcomes)
+    notes = ("budgets are fractions of each mix's baseline average "
+             "memory power; Throttle rows pin the slowest static "
+             "frequency (the naive capping alternative)")
+    if failed:
+        notes += ("\nFAILED JOBS (excluded from the table):\n  "
+                  + "\n  ".join(f.summary() for f in failed))
+    result = ExperimentResult("cap_sweep", notes=notes)
+    for outcome in good:
         result.rows.append(cap_outcome_row(outcome))
     return result
 
@@ -250,19 +253,22 @@ def multidomain_sweep(mixes: Optional[Sequence[str]] = None,
     infeasibility, fairness, and explicit-split system energy. Routed
     through :func:`repro.sim.parallel.run_multidomain_sweep`.
     """
-    from repro.sim.parallel import run_multidomain_sweep
+    from repro.sim.parallel import run_multidomain_sweep, split_outcomes
 
     mixes = list(mixes) if mixes is not None else mix_names("MID")
     outcomes = run_multidomain_sweep(
         mixes, budget_fractions, config=config, settings=settings,
         jobs=jobs, cache_dir=cache_dir, telemetry_dir=telemetry_dir,
         include_memory_only=include_memory_only)
-    result = ExperimentResult(
-        "multidomain_sweep",
-        notes="budgets are fractions of each mix's baseline memory power "
-              "plus modeled nominal core power; MemOnly rows give the "
-              "whole remaining budget to a memory-only CapGovernor "
-              "(the uncoordinated split)")
+    outcomes, failed = split_outcomes(outcomes)
+    notes = ("budgets are fractions of each mix's baseline memory power "
+             "plus modeled nominal core power; MemOnly rows give the "
+             "whole remaining budget to a memory-only CapGovernor "
+             "(the uncoordinated split)")
+    if failed:
+        notes += ("\nFAILED JOBS (excluded from the table):\n  "
+                  + "\n  ".join(f.summary() for f in failed))
+    result = ExperimentResult("multidomain_sweep", notes=notes)
     for outcome in outcomes:
         result.rows.append(multidomain_outcome_row(outcome))
     return result

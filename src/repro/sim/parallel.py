@@ -29,6 +29,16 @@ method where available, so the imported package is inherited). With
 ``jobs=1`` — or ``None`` on a single-CPU machine — everything runs
 inline in the calling process, which is also the path the tests use to
 compare against.
+
+Fault isolation: jobs are submitted one future each and collected
+individually through :func:`execute_jobs` — one raising job (or even a
+worker killed by the OS) surfaces as a :class:`JobFailure` record
+carrying the worker-side traceback while every other job completes.
+Each job gets ``retries`` extra attempts before its failure is
+recorded; a broken pool is rebuilt and the survivors re-run in
+single-worker isolation so a poison job cannot take the sweep down.
+The persistent-queue layer on top of this lives in
+:mod:`repro.sim.service`.
 """
 
 from __future__ import annotations
@@ -36,10 +46,13 @@ from __future__ import annotations
 import os
 import re
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import multiprocessing
 
@@ -145,9 +158,59 @@ class SweepOutcome:
     telemetry_path: Optional[str] = None
 
 
+@dataclass
+class JobFailure:
+    """Structured record of one job that failed after all its attempts.
+
+    Returned in place of the job's outcome so a sweep containing one
+    bad job still yields every other result. Carries the worker-side
+    traceback of the last attempt; ``job`` is the original job
+    dataclass (:class:`SweepJob`, :class:`CapJob`, ...).
+    """
+
+    job: object
+    label: str                      #: display label, e.g. "MID1/Static"
+    error_type: str                 #: exception class name
+    message: str
+    traceback: str = ""             #: worker-side formatted traceback
+    attempts: int = 1               #: total attempts made (1 + retries)
+    wall_s: float = 0.0             #: wall-clock of the last attempt
+
+    @property
+    def mix(self) -> str:
+        return getattr(self.job, "mix", "?")
+
+    def summary(self) -> str:
+        return (f"{self.label}: {self.error_type}: {self.message} "
+                f"(after {self.attempts} attempt"
+                f"{'s' if self.attempts != 1 else ''})")
+
+
+def job_label(job: object) -> str:
+    """Stable display label of a job dataclass (``mix/<point>``)."""
+    if isinstance(job, SweepJob):
+        return f"{job.mix}/{job.policy}"
+    if isinstance(job, CapJob):
+        return f"{job.mix}/{cap_label(job.budget_fraction)}"
+    if isinstance(job, MultiDomainJob):
+        return (f"{job.mix}/"
+                f"{multidomain_label(job.budget_fraction, job.coordinated)}")
+    return str(job)
+
+
 def default_jobs() -> int:
-    """Worker count when the caller does not specify one."""
-    return max(1, min(8, os.cpu_count() or 1))
+    """Worker count when the caller does not specify one.
+
+    Prefers the scheduling affinity mask over the raw CPU count so a
+    cgroup/affinity-limited container (CI runners, ``taskset``) gets
+    the CPUs it may actually run on instead of overcommitting workers
+    against every core the host has.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, min(8, cpus))
 
 
 def telemetry_filename(mix: str, policy: str) -> str:
@@ -335,6 +398,139 @@ def _executor(jobs: int) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
 
 
+def _run_guarded(payload: Tuple[Callable, object]) -> Tuple[str, object, float]:
+    """Worker-side wrapper: never lets an exception cross the pool.
+
+    Returns ``("ok", outcome, wall_s)`` or ``("error", info, wall_s)``
+    where ``info`` carries the exception class, message, and formatted
+    traceback — some exceptions do not survive pickling, and a raising
+    future would otherwise cost the whole sweep under ``pool.map``.
+    """
+    fn, args = payload
+    start = time.perf_counter()
+    try:
+        return ("ok", fn(args), time.perf_counter() - start)
+    except BaseException as exc:  # noqa: BLE001 - isolate *everything*
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return ("error", {
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }, time.perf_counter() - start)
+
+
+#: ``info`` payload synthesized when a worker process vanished (killed
+#: by the OS, OOM, segfault) and took its future down with it.
+def _worker_died_info(exc: BaseException) -> Dict[str, str]:
+    return {
+        "error_type": type(exc).__name__,
+        "message": ("worker process died before returning a result "
+                    f"({exc})" if str(exc) else
+                    "worker process died before returning a result"),
+        "traceback": "",
+    }
+
+
+def execute_jobs(fn: Callable, job_args: Sequence[object],
+                 jobs_meta: Sequence[object], jobs: int,
+                 retries: int = 0,
+                 on_outcome: Optional[Callable[[int, object], None]] = None
+                 ) -> List[object]:
+    """Run ``fn`` over ``job_args`` with per-job fault isolation.
+
+    The replacement for bare ``pool.map``: every job is submitted as
+    its own future and collected individually, so one raising job (or a
+    worker the OS killed mid-run) becomes a :class:`JobFailure` record
+    in the returned list — input order, one entry per job — while every
+    other job still completes. Each job is attempted up to
+    ``1 + retries`` times. ``jobs_meta[i]`` is the job dataclass stored
+    on failure records; ``on_outcome(i, outcome_or_failure)`` fires as
+    soon as job ``i`` settles (the service layer persists results
+    incrementally through it, so a crash loses at most in-flight jobs).
+
+    With ``jobs == 1`` everything runs inline in the calling process —
+    identical results, no pool (and no isolation from a job that kills
+    the *process*; the pool path survives even that).
+    """
+    n = len(job_args)
+    if len(jobs_meta) != n:
+        raise ValueError("jobs_meta must match job_args")
+    results: List[object] = [None] * n
+    attempts = [0] * n
+
+    def settle(i: int, status: str, value: object, wall: float) -> bool:
+        """Record one attempt; True once the job has a final outcome."""
+        attempts[i] += 1
+        if status == "ok":
+            results[i] = value
+        elif attempts[i] > retries:
+            results[i] = JobFailure(
+                job=jobs_meta[i], label=job_label(jobs_meta[i]),
+                attempts=attempts[i], wall_s=wall, **value)
+        else:
+            return False
+        if on_outcome is not None:
+            on_outcome(i, results[i])
+        return True
+
+    if jobs == 1:
+        for i in range(n):
+            while True:
+                status, value, wall = _run_guarded((fn, job_args[i]))
+                if settle(i, status, value, wall):
+                    break
+        return results
+
+    # Pool phase: one future per job, collected as they complete.
+    leftovers: List[int] = []
+    with _executor(jobs) as pool:
+        futures = {pool.submit(_run_guarded, (fn, job_args[i])): i
+                   for i in range(n)}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i = futures[fut]
+                try:
+                    status, value, wall = fut.result()
+                except BrokenProcessPool:
+                    # The job that broke the pool and the innocents
+                    # whose futures it cancelled are indistinguishable
+                    # here; all of them retry in isolation below.
+                    leftovers.append(i)
+                    continue
+                except Exception as exc:  # pragma: no cover - pickling
+                    status, value, wall = ("error", _worker_died_info(exc),
+                                           0.0)
+                if not settle(i, status, value, wall):
+                    leftovers.append(i)
+
+    # Isolation phase: survivors of a broken pool and jobs with retry
+    # budget left each get a fresh single-worker pool, so a poison job
+    # that kills its worker exhausts only its own attempts.
+    for i in leftovers:
+        while results[i] is None:
+            try:
+                with _executor(1) as solo:
+                    status, value, wall = solo.submit(
+                        _run_guarded, (fn, job_args[i])).result()
+            except BrokenProcessPool as exc:
+                status, value, wall = ("error", _worker_died_info(exc), 0.0)
+            except Exception as exc:  # pragma: no cover - pickling
+                status, value, wall = ("error", _worker_died_info(exc), 0.0)
+            settle(i, status, value, wall)
+    return results
+
+
+def split_outcomes(outcomes: Sequence[object]
+                   ) -> Tuple[List[object], List[JobFailure]]:
+    """Partition a sweep's outcome list into (successes, failures)."""
+    good = [o for o in outcomes if not isinstance(o, JobFailure)]
+    bad = [o for o in outcomes if isinstance(o, JobFailure)]
+    return good, bad
+
+
 def _check_inputs(mixes: Sequence[str], policies: Sequence[str]) -> None:
     for mix in mixes:
         if mix not in MIXES:
@@ -345,14 +541,41 @@ def _check_inputs(mixes: Sequence[str], policies: Sequence[str]) -> None:
                 f"unknown policy {policy!r}; choose from {POLICY_NAMES}")
 
 
+def warm_mixes(mixes: Sequence[str], config: SystemConfig,
+               settings: RunnerSettings, cache_dir: Optional[str],
+               jobs: int) -> None:
+    """Warm phase: build each mix's shared trace + baseline cache entry
+    exactly once before fanning out, so concurrent (mix, point) jobs hit
+    the cache instead of racing to regenerate baselines.
+
+    Warm failures are swallowed: the fan-out jobs of an unwarmable mix
+    produce their own per-job failure records, which is where the error
+    belongs.
+    """
+    if cache_dir is None:
+        return
+    warm_args = [(config, settings, mix, cache_dir) for mix in mixes]
+    execute_jobs(_warm_mix, warm_args, list(mixes), jobs)
+
+
+def _fan_out(fn: Callable, job_args: List[tuple], jobs_meta: List[object],
+             mixes: Sequence[str], config: SystemConfig,
+             settings: RunnerSettings, cache_dir: Optional[str],
+             jobs: int, retries: int) -> List[object]:
+    """Warm + fault-isolated fan-out shared by every sweep flavour."""
+    if jobs > 1:
+        warm_mixes(mixes, config, settings, cache_dir, jobs)
+    return execute_jobs(fn, job_args, jobs_meta, jobs, retries=retries)
+
+
 def run_sweep(mixes: Sequence[str],
               policies: Sequence[str] = ("MemScale",),
               config: Optional[SystemConfig] = None,
               settings: Optional[RunnerSettings] = None,
               jobs: Optional[int] = None,
               cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR,
-              telemetry_dir: Optional[PathLike] = None
-              ) -> List[SweepOutcome]:
+              telemetry_dir: Optional[PathLike] = None,
+              retries: int = 0) -> List[SweepOutcome]:
     """Evaluate every ``mix`` under every ``policy``, in parallel.
 
     Parameters
@@ -370,6 +593,12 @@ def run_sweep(mixes: Sequence[str],
     telemetry_dir
         When given, each policy run streams its per-epoch JSONL record
         file into this directory (see EXPERIMENTS.md for the schema).
+    retries
+        Extra attempts per job before its failure is recorded.
+
+    A job that raises (or whose worker dies) does not abort the sweep:
+    its slot in the returned list holds a :class:`JobFailure` record
+    with the worker-side traceback, and every other job completes.
     """
     mixes = list(mixes)
     policies = list(policies)
@@ -389,18 +618,8 @@ def run_sweep(mixes: Sequence[str],
                   for policy in policies]
     job_args = [(config, settings, job, cache_dir, telemetry_dir)
                 for job in sweep_jobs]
-
-    if jobs == 1:
-        return [_run_job(args) for args in job_args]
-
-    warm_args = [(config, settings, mix, cache_dir) for mix in mixes]
-    with _executor(jobs) as pool:
-        if cache_dir is not None:
-            # Warm phase: build each mix's shared artifacts exactly once
-            # before fanning out, so concurrent (mix, policy) jobs hit
-            # the cache instead of racing to regenerate baselines.
-            list(pool.map(_warm_mix, warm_args))
-        return list(pool.map(_run_job, job_args))
+    return _fan_out(_run_job, job_args, sweep_jobs, mixes, config,
+                    settings, cache_dir, jobs, retries)
 
 
 def run_cap_sweep(mixes: Sequence[str],
@@ -410,7 +629,8 @@ def run_cap_sweep(mixes: Sequence[str],
                   jobs: Optional[int] = None,
                   cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR,
                   telemetry_dir: Optional[PathLike] = None,
-                  include_throttle: bool = True) -> List[CapOutcome]:
+                  include_throttle: bool = True,
+                  retries: int = 0) -> List[CapOutcome]:
     """Evaluate every ``mix`` under every power budget, in parallel.
 
     ``budget_fractions`` are caps expressed as fractions of each mix's
@@ -451,15 +671,8 @@ def run_cap_sweep(mixes: Sequence[str],
     cap_jobs = [CapJob(mix, frac) for mix in mixes for frac in points]
     job_args = [(config, settings, job, cache_dir, telemetry_dir)
                 for job in cap_jobs]
-
-    if jobs == 1:
-        return [_run_cap_job(args) for args in job_args]
-
-    warm_args = [(config, settings, mix, cache_dir) for mix in mixes]
-    with _executor(jobs) as pool:
-        if cache_dir is not None:
-            list(pool.map(_warm_mix, warm_args))
-        return list(pool.map(_run_cap_job, job_args))
+    return _fan_out(_run_cap_job, job_args, cap_jobs, mixes, config,
+                    settings, cache_dir, jobs, retries)
 
 
 def run_multidomain_sweep(mixes: Sequence[str],
@@ -469,8 +682,8 @@ def run_multidomain_sweep(mixes: Sequence[str],
                           jobs: Optional[int] = None,
                           cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR,
                           telemetry_dir: Optional[PathLike] = None,
-                          include_memory_only: bool = True
-                          ) -> List[MultiDomainOutcome]:
+                          include_memory_only: bool = True,
+                          retries: int = 0) -> List[MultiDomainOutcome]:
     """Evaluate every ``mix`` under every *global* budget, in parallel.
 
     ``budget_fractions`` are global (CPU + memory) budgets expressed as
@@ -510,15 +723,8 @@ def run_multidomain_sweep(mixes: Sequence[str],
                for coordinated in legs]
     job_args = [(config, settings, job, cache_dir, telemetry_dir)
                 for job in md_jobs]
-
-    if jobs == 1:
-        return [_run_multidomain_job(args) for args in job_args]
-
-    warm_args = [(config, settings, mix, cache_dir) for mix in mixes]
-    with _executor(jobs) as pool:
-        if cache_dir is not None:
-            list(pool.map(_warm_mix, warm_args))
-        return list(pool.map(_run_multidomain_job, job_args))
+    return _fan_out(_run_multidomain_job, job_args, md_jobs, mixes,
+                    config, settings, cache_dir, jobs, retries)
 
 
 def generate_traces(mixes: Sequence[str],
@@ -543,9 +749,19 @@ def generate_traces(mixes: Sequence[str],
 
 
 def sweep_table(outcomes: Sequence[SweepOutcome]) -> List[List[str]]:
-    """Rows (mix, policy, savings, CPI, wall) for a plain-text report."""
+    """Rows (mix, policy, savings, CPI, wall) for a plain-text report.
+
+    :class:`JobFailure` entries render as FAILED rows carrying the
+    exception class, so a partially failed sweep still prints.
+    """
     rows = []
     for o in outcomes:
+        if isinstance(o, JobFailure):
+            rows.append([
+                o.mix, o.label.split("/", 1)[-1],
+                "FAILED", o.error_type, "-", f"{o.wall_s:.2f}s",
+            ])
+            continue
         rows.append([
             o.mix, o.policy,
             f"{o.comparison.memory_energy_savings:+.1%}",

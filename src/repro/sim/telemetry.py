@@ -24,7 +24,7 @@ from __future__ import annotations
 import abc
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 PathLike = Union[str, Path]
 
@@ -207,15 +207,42 @@ def validate_epoch_record(record: Dict[str, object]) -> None:
                          "or null")
 
 
-def load_telemetry(path: PathLike) -> List[Dict[str, object]]:
-    """Read and validate every record of a telemetry JSONL file."""
-    records = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
+def read_telemetry(path: PathLike
+                   ) -> Tuple[List[Dict[str, object]], int]:
+    """Read and validate a telemetry JSONL file; ``(records, skipped)``.
+
+    A run killed mid-write (SIGKILL, OOM, power loss) leaves a partial
+    final line in its append-only JSONL stream; that trailing fragment
+    is *skipped and counted* — losing one epoch record must not lose
+    the file. Only an unparseable **final** line gets this treatment
+    (the truncation signature): a line that fails to parse anywhere
+    before the end, or one that parses but violates the epoch schema,
+    means real corruption and still raises.
+    """
+    lines = [(i, line.strip()) for i, line in
+             enumerate(Path(path).read_text(encoding="utf-8").splitlines())
+             if line.strip()]
+    records: List[Dict[str, object]] = []
+    skipped = 0
+    for pos, (i, line) in enumerate(lines):
+        try:
             record = json.loads(line)
-            validate_epoch_record(record)
-            records.append(record)
+        except ValueError:
+            if pos == len(lines) - 1:
+                skipped += 1
+                continue
+            raise
+        validate_epoch_record(record)
+        records.append(record)
+    return records, skipped
+
+
+def load_telemetry(path: PathLike) -> List[Dict[str, object]]:
+    """Read and validate every record of a telemetry JSONL file.
+
+    Convenience wrapper over :func:`read_telemetry` that discards the
+    truncated-tail count; callers that want to surface it (``repro
+    query``, analysis notebooks) should use :func:`read_telemetry`.
+    """
+    records, _ = read_telemetry(path)
     return records

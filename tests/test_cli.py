@@ -22,11 +22,13 @@ class TestParser:
         parser = build_parser()
         for cmd in ("table1", "run", "figure", "timeline", "stats",
                     "best-static", "sweep", "bench", "cap", "multidomain",
-                    "governors", "cache"):
+                    "governors", "cache", "service", "query"):
             args = parser.parse_args(
                 [cmd] + (["MID1"] if cmd in ("run", "timeline", "stats",
                                              "best-static") else
-                         ["5"] if cmd == "figure" else []))
+                         ["5"] if cmd == "figure" else
+                         ["status", "--dir", "d"] if cmd == "service" else
+                         ["--dir", "d"] if cmd == "query" else []))
             assert args.command == cmd
 
 
@@ -320,3 +322,93 @@ class TestCacheCommand:
         assert "pruned 2 files" in out  # columnar trace + sidecar
         code, out = run_cli(capsys, "cache", "--cache-dir", str(cache_dir))
         assert "trace entries    : 0" in out
+
+
+class TestServiceCommand:
+    SMALL = ["--instructions", "8000", "--cores", "4", "--seed", "7"]
+
+    def test_smoke_leg(self, capsys, tmp_path):
+        """The `make service-smoke` target: poisoned job isolated,
+        resume heals it, store digest-identical to a serial sweep."""
+        code, out = run_cli(capsys, "service", "smoke",
+                            "--dir", str(tmp_path / "svc"), "--jobs", "1")
+        assert code == 0
+        assert "SERVICE SMOKE OK" in out
+        assert "poisoned job isolated (MID1/MemScale)" in out
+
+    def test_run_status_query_resume_round_trip(self, capsys, tmp_path):
+        directory = str(tmp_path / "svc")
+        code, out = run_cli(
+            capsys, "service", "run", "--dir", directory,
+            "--mixes", "MID1", "--policies", "Static", "MemScale",
+            "--jobs", "1", "--retries", "0",
+            "--fail-label", "MID1/MemScale", *self.SMALL)
+        assert code == 0
+        assert "FAILED" in out and "InjectedFailure" in out
+        assert "1 ok, 1 failed" in out
+
+        code, out = run_cli(capsys, "service", "status",
+                            "--dir", directory)
+        assert code == 0
+        assert "enqueued             : 2" in out
+        assert "failed               : 1" in out
+        assert "pending: MID1/MemScale (failed)" in out
+
+        code, out = run_cli(capsys, "query", "--dir", directory,
+                            "--status", "failed")
+        assert code == 0
+        assert "InjectedFailure" in out
+        assert "1 of 2 records matched" in out
+
+        code, out = run_cli(capsys, "service", "resume",
+                            "--dir", directory)
+        assert code == 0
+        assert "2 ok, 0 failed" in out
+
+        code, out = run_cli(capsys, "query", "--dir", directory,
+                            "--status", "ok", "--jsonl")
+        assert code == 0
+        import json
+        records = [json.loads(line) for line in out.splitlines() if line]
+        assert len(records) == 2
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_rerun_is_idempotent(self, capsys, tmp_path):
+        directory = str(tmp_path / "svc")
+        argv = ["service", "run", "--dir", directory, "--mixes", "MID1",
+                "--policies", "Static", "--jobs", "1", *self.SMALL]
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "1 ok, 0 failed, 0 never-ran of 1 enqueued" in out
+
+    def test_run_rejects_unknown_policy(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["service", "run", "--dir", str(tmp_path / "svc"),
+                  "--policies", "Bogus", "--jobs", "1", *self.SMALL])
+
+    def test_cap_kind_needs_budgets(self, tmp_path):
+        with pytest.raises(SystemExit, match="--budgets"):
+            main(["service", "run", "--dir", str(tmp_path / "svc"),
+                  "--kind", "cap", "--jobs", "1", *self.SMALL])
+
+    def test_status_on_non_service_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="no service ledger meta"):
+            main(["service", "status", "--dir", str(tmp_path / "empty")])
+
+
+class TestCacheOrphanDisplay:
+    def test_orphan_files_are_reported(self, capsys, tmp_path):
+        cache_dir = tmp_path / "c"
+        TestCacheCommand().populate(cache_dir)
+        next(cache_dir.glob("traces/*.npy")).unlink()
+        code, out = run_cli(capsys, "cache", "--cache-dir", str(cache_dir))
+        assert code == 0
+        assert "orphan files     : 1" in out
+        assert "trace entries    : 0" in out
+        code, out = run_cli(capsys, "cache", "--cache-dir", str(cache_dir),
+                            "--prune")
+        assert code == 0
+        code, out = run_cli(capsys, "cache", "--cache-dir", str(cache_dir))
+        assert "orphan files" not in out

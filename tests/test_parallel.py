@@ -3,6 +3,9 @@ cache (sim/cache.py): hit/miss/invalidation semantics, corruption
 fallback, and serial-vs-parallel determinism."""
 
 import json
+import os
+import signal
+from pathlib import Path
 
 import pytest
 
@@ -11,8 +14,14 @@ from repro.cpu.trace import columnar_sidecar_path
 from repro.cpu.workloads import MIXES
 from repro.sim.cache import ExperimentCache
 from repro.sim.parallel import (
+    JobFailure,
+    SweepJob,
+    _run_job,
+    default_jobs,
+    execute_jobs,
     generate_traces,
     run_sweep,
+    split_outcomes,
     sweep_table,
     telemetry_filename,
 )
@@ -288,3 +297,188 @@ class TestGenerateTraces:
         traces = generate_traces(list(MIXES)[:3], settings=SETTINGS,
                                  jobs=1, cache_dir=None)
         assert len(traces) == 3
+
+
+# -- fault isolation --------------------------------------------------------
+# Worker functions must live at module level: the fork pool pickles them
+# by reference.
+
+def _echo_job(args):
+    return f"ran:{args}"
+
+
+def _raise_on_poison(args):
+    if args == "poison":
+        raise ValueError("simulated job failure")
+    return f"ran:{args}"
+
+
+def _kill_worker_on_poison(args):
+    if args == "poison":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return f"ran:{args}"
+
+
+def _fail_until_marker(args):
+    """Fail until a marker file exists (then create it): attempt #1
+    fails, attempt #2 succeeds — exercises the retry path."""
+    marker = Path(args)
+    if not marker.exists():
+        marker.write_text("seen")
+        raise RuntimeError("transient failure")
+    return f"ran:{args}"
+
+
+class TestExecuteJobs:
+    def test_inline_failure_is_isolated(self):
+        jobs_meta = [SweepJob("MID1", "Static"), SweepJob("MID1", "MemScale"),
+                     SweepJob("MID2", "Static")]
+        results = execute_jobs(_raise_on_poison, ["a", "poison", "c"],
+                               jobs_meta, jobs=1)
+        assert results[0] == "ran:a"
+        assert results[2] == "ran:c"
+        failure = results[1]
+        assert isinstance(failure, JobFailure)
+        assert failure.label == "MID1/MemScale"
+        assert failure.mix == "MID1"
+        assert failure.error_type == "ValueError"
+        assert "simulated job failure" in failure.message
+        assert "simulated job failure" in failure.traceback
+        assert failure.attempts == 1
+        assert "after 1 attempt)" in failure.summary()
+
+    def test_pool_failure_is_isolated(self):
+        results = execute_jobs(_raise_on_poison, ["a", "poison", "c"],
+                               ["a", "poison", "c"], jobs=2, retries=2)
+        assert results[0] == "ran:a"
+        assert results[2] == "ran:c"
+        assert isinstance(results[1], JobFailure)
+        assert results[1].attempts == 3  # 1 + retries, then recorded
+        assert "after 3 attempts)" in results[1].summary()
+
+    def test_killed_worker_becomes_a_failure_record(self):
+        """A job that SIGKILLs its own worker (OOM-kill stand-in) must
+        not cost the rest of the sweep — the broken-pool survivors
+        retry in isolation and only the poison job records a failure."""
+        args = ["a", "b", "poison", "c", "d"]
+        results = execute_jobs(_kill_worker_on_poison, args, args, jobs=2)
+        for i, arg in enumerate(args):
+            if arg == "poison":
+                continue
+            assert results[i] == f"ran:{arg}", f"job {arg} was lost"
+        failure = results[2]
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "BrokenProcessPool"
+        assert "worker process died" in failure.message
+
+    def test_retry_recovers_a_transient_failure(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        results = execute_jobs(_fail_until_marker, [marker], [marker],
+                               jobs=1, retries=1)
+        assert results == [f"ran:{marker}"]
+
+    def test_on_outcome_fires_once_per_settled_job(self):
+        settled = []
+        results = execute_jobs(
+            _raise_on_poison, ["a", "poison"], ["a", "poison"], jobs=1,
+            on_outcome=lambda i, outcome: settled.append((i, outcome)))
+        assert [i for i, _ in settled] == [0, 1]
+        assert settled[0][1] == results[0]
+        assert settled[1][1] is results[1]
+
+    def test_meta_length_mismatch_is_rejected(self):
+        with pytest.raises(ValueError, match="jobs_meta"):
+            execute_jobs(_echo_job, ["a"], [], jobs=1)
+
+    def test_real_sweep_job_failure_yields_partial_results(self, tmp_path):
+        """The acceptance shape: one bad job in an otherwise good sweep
+        returns N-1 full outcomes plus one structured failure."""
+        config = scaled_config()
+        good_job = SweepJob("MID1", "Static")
+        bad_job = SweepJob("MID1", "NotAPolicy")  # worker-side ValueError
+        job_args = [(config, SETTINGS, job, None, None)
+                    for job in (good_job, bad_job)]
+        results = execute_jobs(_run_job, job_args, [good_job, bad_job],
+                               jobs=1)
+        good, bad = split_outcomes(results)
+        assert len(good) == 1 and len(bad) == 1
+        assert good[0].policy == "Static"
+        assert good[0].result.epochs > 0
+        assert bad[0].label == "MID1/NotAPolicy"
+        assert bad[0].error_type == "ValueError"
+
+
+class TestDefaultJobs:
+    def test_prefers_scheduling_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1})
+        assert default_jobs() == 2
+
+    def test_affinity_is_capped_at_eight(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(range(32)))
+        assert default_jobs() == 8
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert default_jobs() == 3
+
+
+class TestSplitAndTable:
+    def _failure(self):
+        return JobFailure(job=SweepJob("MID1", "MemScale"),
+                          label="MID1/MemScale", error_type="ValueError",
+                          message="boom", attempts=2, wall_s=0.5)
+
+    def test_split_outcomes_partitions(self, tmp_path):
+        good_run = run_sweep(["MID1"], ["Static"], settings=SETTINGS,
+                             jobs=1, cache_dir=tmp_path / "c")
+        outcomes = [good_run[0], self._failure()]
+        good, bad = split_outcomes(outcomes)
+        assert good == [good_run[0]]
+        assert bad == [outcomes[1]]
+
+    def test_sweep_table_renders_failed_rows(self, tmp_path):
+        good_run = run_sweep(["MID1"], ["Static"], settings=SETTINGS,
+                             jobs=1, cache_dir=tmp_path / "c")
+        rows = sweep_table([good_run[0], self._failure()])
+        assert rows[0][0] == "MID1" and rows[0][1] == "Static"
+        assert rows[1][:4] == ["MID1", "MemScale", "FAILED", "ValueError"]
+
+
+class TestCacheOrphans:
+    def _populated(self, tmp_path):
+        cache = ExperimentCache(tmp_path / "c")
+        ExperimentRunner(settings=SETTINGS, cache=cache).baseline("MID1")
+        return cache
+
+    def test_lone_sidecar_is_an_orphan(self, tmp_path):
+        cache = self._populated(tmp_path)
+        npy = next(cache.root.glob("traces/*.npy"))
+        npy.unlink()
+        stats = cache.stats()
+        assert stats["trace_entries"] == 0
+        assert stats["orphan_files"] == 1
+        assert cache.entries == 1  # only the run entry remains usable
+
+    def test_lone_data_file_is_an_orphan(self, tmp_path):
+        cache = self._populated(tmp_path)
+        sidecar = next(cache.root.glob("traces/*.npy.meta.json"))
+        sidecar.unlink()
+        stats = cache.stats()
+        assert stats["trace_entries"] == 0
+        assert stats["orphan_files"] == 1
+
+    def test_complete_pair_is_not_an_orphan(self, tmp_path):
+        stats = self._populated(tmp_path).stats()
+        assert stats["trace_entries"] == 1
+        assert stats["orphan_files"] == 0
+
+    def test_prune_sweeps_orphans(self, tmp_path):
+        cache = self._populated(tmp_path)
+        next(cache.root.glob("traces/*.npy")).unlink()
+        before = cache.stats()["total_bytes"]
+        removed = cache.prune()
+        assert removed["bytes_removed"] == before
+        assert cache.stats()["orphan_files"] == 0
+        assert cache.stats()["total_bytes"] == 0

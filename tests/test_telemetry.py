@@ -14,6 +14,7 @@ from repro.sim.telemetry import (
     ListTelemetry,
     epoch_record,
     load_telemetry,
+    read_telemetry,
     validate_epoch_record,
 )
 
@@ -298,3 +299,44 @@ class TestJsonlSink:
         path.write_text('{"schema": 1, "kind": "epoch"}\n')
         with pytest.raises(ValueError):
             load_telemetry(path)
+
+
+class TestTruncatedTail:
+    """A run killed mid-write leaves a partial final JSONL line; the
+    readers must skip (and count) it rather than lose the file."""
+
+    def _valid_line(self):
+        return json.dumps(epoch_record(
+            workload="MID1", governor="MemScale", epoch=0,
+            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+            actual_cpi={}, energy_j={}, memory_power_w=0.0,
+            channel_util=[]))
+
+    def test_truncated_final_line_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._valid_line() + '\n{"schema": 3, "kind": "ep')
+        records, skipped = read_telemetry(path)
+        assert len(records) == 1
+        assert skipped == 1
+        assert load_telemetry(path) == records
+
+    def test_intact_file_skips_nothing(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._valid_line() + "\n")
+        records, skipped = read_telemetry(path)
+        assert (len(records), skipped) == (1, 0)
+
+    def test_truncation_before_the_tail_still_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"broken\n' + self._valid_line() + "\n")
+        with pytest.raises(ValueError):
+            read_telemetry(path)
+
+    def test_parseable_but_invalid_tail_still_raises(self, tmp_path):
+        # Only an *unparseable* final line is the truncation signature;
+        # a well-formed record violating the schema is real corruption.
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._valid_line()
+                        + '\n{"schema": 1, "kind": "epoch"}\n')
+        with pytest.raises(ValueError, match="missing"):
+            read_telemetry(path)
