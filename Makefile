@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench bench-perf bench-perf-smoke sweep \
 	validate cache-stats clean-cache docs-links multidomain-smoke \
-	service-smoke
+	service-smoke placement-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -43,6 +43,14 @@ bench-perf-smoke:
 # feasible pair where neither domain alone could meet the cap.
 multidomain-smoke:
 	$(PYTHON) -m repro multidomain --smoke
+
+# Rank-aware placement acceptance run: short-epoch MID1 with the DDR3
+# protocol validator armed; the placed leg (page migration + self-
+# refresh parking) must beat plain MemScale on memory energy with zero
+# violations, ranks actually parked, the CPI bound respected, and the
+# migration copy ledger conserved.
+placement-smoke:
+	$(PYTHON) -m repro placement --smoke
 
 # Crash-safe sweep service end to end: tiny sweep with one injected
 # failing job (isolated as a failure record, not a sweep-wide raise),

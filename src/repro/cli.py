@@ -6,6 +6,7 @@ Every experiment is reachable from the shell::
     python -m repro run MID3 --policy MemScale --instructions 200000
     python -m repro sweep --mixes MID1 MID2 --policies MemScale Static --jobs 4
     python -m repro cap --mixes MID1 --budgets 0.9 0.8 0.7
+    python -m repro placement --mixes MID1 --jobs 4
     python -m repro governors
     python -m repro bench --smoke
     python -m repro perfbench
@@ -41,7 +42,8 @@ from repro.cpu.workloads import MIXES, mix_names
 from repro.sim import experiments
 from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
 from repro.sim.parallel import (run_cap_sweep, run_multidomain_sweep,
-                                run_sweep, split_outcomes, sweep_table)
+                                run_placement_sweep, run_sweep,
+                                split_outcomes, sweep_table)
 from repro.sim.runner import (GOVERNOR_INFO, POLICY_NAMES, ExperimentRunner,
                               RunnerSettings, governor_listing)
 from repro.sim.telemetry import JsonlTelemetry
@@ -57,6 +59,18 @@ SMOKE_MULTIDOMAIN_FRACTIONS = (0.8, 0.55)
 
 #: Default directory of `repro service smoke` (the CI artifact).
 SERVICE_SMOKE_DIR = ".repro_service_smoke"
+
+#: Epoch/profile lengths of `repro placement --smoke` (ns). The
+#: placement policy acts only at epoch boundaries, so the smoke
+#: shortens epochs until a tiny run spans enough of them for
+#: classification, migration, and self-refresh parking to all fire.
+SMOKE_PLACEMENT_EPOCH_NS = 4_000.0
+SMOKE_PLACEMENT_PROFILE_NS = 400.0
+
+#: CPI-increase slack the placement smoke tolerates beyond the
+#: configured MemScale bound: self-refresh wake-ups and migration copy
+#: traffic add latency the frequency policy does not model.
+SMOKE_PLACEMENT_CPI_SLACK = 0.05
 
 
 def _report_failures(failed, what: str) -> None:
@@ -436,6 +450,136 @@ def cmd_multidomain(args) -> None:
               f"(budget-ledger checks passed)")
 
 
+def _check_placement_outcomes(outcomes, cpi_bound: float,
+                              require_parking: bool = False) -> List[str]:
+    """Smoke-grade acceptance checks on a placement sweep's outcomes.
+
+    Returns failure strings (empty = pass). Per placed leg: (a) lower
+    absolute memory energy than the plain-MemScale reference on the
+    same mix (the legs share the trace and the CPI-degradation target,
+    so the energy comparison is at equal perf loss); (b) CPI increase
+    within the MemScale bound plus a small slack for self-refresh
+    wake-ups and copy traffic. With ``require_parking`` (the smoke),
+    the placed leg must also show the machinery actually engaged:
+    pages migrated, ranks parked in self-refresh, and the migration
+    copy ledger conserved — every migrated line was either copied or
+    is still in the pump's tracked backlog when the run ends (nothing
+    silently dropped).
+    """
+    failures: List[str] = []
+    references = {o.mix: o for o in outcomes if not o.placed}
+    for o in outcomes:
+        if not o.placed:
+            continue
+        label = f"{o.mix}/placed"
+        summary = o.placement or {}
+        ref = references.get(o.mix)
+        if ref is not None \
+                and o.result.memory_energy_j >= ref.result.memory_energy_j:
+            failures.append(
+                f"{label}: memory energy {o.result.memory_energy_j:.4f}J "
+                f"does not beat plain MemScale "
+                f"{ref.result.memory_energy_j:.4f}J")
+        worst = o.comparison.worst_cpi_increase
+        if worst > cpi_bound + SMOKE_PLACEMENT_CPI_SLACK:
+            failures.append(
+                f"{label}: worst CPI increase {worst:+.1%} exceeds the "
+                f"bound {cpi_bound:.1%} plus "
+                f"{SMOKE_PLACEMENT_CPI_SLACK:.1%} slack")
+        if require_parking:
+            if not summary.get("parked_ranks"):
+                failures.append(f"{label}: no rank ever entered "
+                                "self-refresh")
+            if not summary.get("migrations"):
+                failures.append(f"{label}: no page was ever migrated")
+            copied = summary.get("lines_copied", 0)
+            backlog = summary.get("backlog", 0)
+            migrated = summary.get("migrated_lines", 0)
+            if copied + backlog != migrated:
+                failures.append(
+                    f"{label}: migration copy ledger does not conserve "
+                    f"— {copied} lines copied + {backlog} backlog != "
+                    f"{migrated} migrated")
+    return failures
+
+
+def cmd_placement(args) -> None:
+    if args.smoke:
+        mixes = ["MID1"]
+        settings = RunnerSettings(cores=4, instructions_per_core=60_000,
+                                  seed=2011)
+        # Short epochs so classification/parking cycle many times, and
+        # small pages in gentle per-epoch batches so the paced migration
+        # pump can drain them: the placed leg has to *win* on energy.
+        config = scaled_config().with_policy(
+            epoch_ns=SMOKE_PLACEMENT_EPOCH_NS,
+            profile_ns=SMOKE_PLACEMENT_PROFILE_NS).with_placement(
+            page_lines=32, migrations_per_epoch=4)
+        # The smoke always arms the protocol validator: zero violations
+        # with self-refresh parking active is part of the acceptance.
+        config = config.replace(validate_protocol=True)
+    else:
+        mixes = args.mixes if args.mixes else mix_names("MID")
+        settings = RunnerSettings(cores=args.cores,
+                                  instructions_per_core=args.instructions,
+                                  seed=args.seed)
+        config = scaled_config()
+        if args.validate:
+            config = config.replace(validate_protocol=True)
+    for mix in mixes:
+        _check_mix(mix)
+    if args.no_fast_forward:
+        config = config.replace(fast_forward=False)
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    start = time.perf_counter()
+    outcomes = run_placement_sweep(mixes, config=config, settings=settings,
+                                   jobs=args.jobs, cache_dir=cache_dir,
+                                   telemetry_dir=args.telemetry,
+                                   retries=args.retries)
+    wall = time.perf_counter() - start
+    outcomes, failed_jobs = split_outcomes(outcomes)
+    rows = []
+    for o in outcomes:
+        summary = o.placement or {}
+        rows.append([
+            o.mix, "Placed" if o.placed else "MemScale",
+            f"{o.result.memory_energy_j:.4f}",
+            f"{o.comparison.worst_cpi_increase:+.1%}",
+            str(summary.get("migrations", "-")),
+            str(summary.get("parked_ranks", "-")),
+            f"{o.wall_s:.2f}s",
+        ])
+    print(format_table(
+        ["workload", "leg", "mem energy (J)", "worst CPI",
+         "migrations", "parks", "job wall"],
+        rows, title=f"placement sweep: {len(mixes)} mixes x "
+                    f"(placed + plain-MemScale reference)"))
+    print("\nlegs share the trace and the CPI bound; energies are "
+          "absolute joules\n(enabling placement changes the baseline "
+          "run's decode, so the legs are\nnot normalized to a common "
+          "baseline)")
+    if args.smoke or args.validate:
+        print("protocol validator: armed on every simulated run, "
+              "zero violations")
+    if args.telemetry:
+        print(f"per-epoch telemetry JSONL files in {args.telemetry}/")
+    failures = _check_placement_outcomes(
+        outcomes, cpi_bound=config.policy.cpi_bound,
+        require_parking=args.smoke)
+    if failures:
+        raise SystemExit("PLACEMENT CHECKS FAILED:\n  "
+                         + "\n  ".join(failures))
+    _report_failures(failed_jobs, "placement sweep")
+    if args.smoke:
+        print(f"\nPLACEMENT SMOKE OK: {len(outcomes)} runs "
+              f"(placed + reference on MID1), {wall:.2f}s wall")
+    else:
+        print(f"\n{len(outcomes)} runs in {wall:.2f}s wall "
+              f"(placement checks passed)")
+
+
 def cmd_governors(args) -> None:
     rows = [[name, mode, knobs, doc, desc]
             for name, mode, desc, knobs, doc in GOVERNOR_INFO]
@@ -444,9 +588,9 @@ def cmd_governors(args) -> None:
         rows, title="registered governors"))
     print("\nthe first eight are accepted by `run --policy` and "
           "`sweep --policies`;\nCap runs via `repro cap`, MultiDomain "
-          "via `repro multidomain`,\nMemScale/channel via the "
-          "repro.core.extensions API\n"
-          "(protocol + worked example: docs/governors.md)")
+          "via `repro multidomain`,\nMemScale+Placement via `repro "
+          "placement`, MemScale/channel via the\nrepro.core.extensions "
+          "API (protocol + worked example: docs/governors.md)")
 
 
 def cmd_bench(args) -> None:
@@ -564,6 +708,8 @@ def _service_specs(args):
                     f"unknown policy {policy!r}; registered governors "
                     f"are:\n{governor_listing()}")
         return svc.policy_specs(mixes, args.policies)
+    if args.kind == "placement":
+        return svc.placement_specs(mixes)
     if not args.budgets:
         raise SystemExit(f"--kind {args.kind} needs --budgets")
     if any(f <= 0 for f in args.budgets):
@@ -576,11 +722,13 @@ def _service_specs(args):
 def _service_report(service, outcomes, wall: float, verb: str) -> None:
     """Shared tail of `service run` / `service resume`."""
     from repro.sim.parallel import (JobFailure, cap_label,
-                                    multidomain_label)
+                                    multidomain_label, placement_label)
 
     def point(o) -> str:
         if hasattr(o, "policy"):
             return o.policy
+        if hasattr(o, "placed"):
+            return placement_label(o.placed)
         if hasattr(o, "coordinated"):
             return multidomain_label(o.budget_fraction, o.coordinated)
         return cap_label(o.budget_fraction)
@@ -956,6 +1104,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_retries_arg(p)
     p.set_defaults(func=cmd_multidomain)
 
+    p = sub.add_parser("placement",
+                       help="rank-aware page placement + self-refresh "
+                            "sweep vs plain MemScale")
+    p.add_argument("--mixes", nargs="+", default=None, metavar="MIX",
+                   help="mixes to run (default: the four MID mixes)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny shortened-epoch run on MID1 with "
+                        "acceptance checks (placement+SR beats plain "
+                        "MemScale on memory energy, validator armed, "
+                        "ranks actually parked)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: up to 8, one per CPU)")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write one per-epoch telemetry JSONL file per run "
+                        "into DIR")
+    p.add_argument("--validate", action="store_true",
+                   help="arm the DDR3 protocol validator in every worker "
+                        "(the smoke always does)")
+    _add_scale_args(p)
+    _add_cache_args(p)
+    _add_ff_arg(p)
+    _add_retries_arg(p)
+    p.set_defaults(func=cmd_placement)
+
     p = sub.add_parser("governors",
                        help="list every registered governor")
     p.set_defaults(func=cmd_governors)
@@ -1012,7 +1184,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--dir", required=True, metavar="DIR",
                     help="service directory (queue.jsonl + store/ + "
                          "cache/)")
-    sp.add_argument("--kind", choices=["policy", "cap", "multidomain"],
+    sp.add_argument("--kind",
+                    choices=["policy", "cap", "multidomain", "placement"],
                     default="policy",
                     help="sweep flavour (default policy)")
     sp.add_argument("--mixes", nargs="+", default=None, metavar="MIX",
@@ -1078,7 +1251,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="filter by point (policy name, Cap0.80, "
                         "MD0.70, ...)")
     p.add_argument("--kind", default=None,
-                   choices=["policy", "cap", "multidomain"],
+                   choices=["policy", "cap", "multidomain", "placement"],
                    help="filter by sweep flavour")
     p.add_argument("--status", default=None, choices=["ok", "failed"],
                    help="filter by record status")

@@ -61,6 +61,8 @@ class DramTimings:
     t_xp_ns: float = 6.0            #: exit fast-exit powerdown
     t_xpdll_ns: float = 24.0        #: exit slow-exit powerdown
     t_rfc_ns: float = 110.0         #: refresh cycle time (1 Gb device)
+    t_ckesr_ns: float = 15.0        #: min CKE-low residency in self-refresh
+    t_xs_ns: float = 120.0          #: exit self-refresh (~tRFC + 10 ns)
     refresh_period_ns: float = 64.0 * NS_PER_MS  #: retention window
     refresh_rows: int = 8192        #: rows refreshed per retention window
 
@@ -103,6 +105,7 @@ class DramCurrents:
     idd4r: float = 0.250               #: burst read
     idd4w: float = 0.250               #: burst write
     idd5: float = 0.240                #: refresh
+    idd6: float = 0.012                #: self-refresh (CKE low, clock stopped)
     #: Fraction of standby/powerdown current that does *not* scale with
     #: frequency (leakage and refresh logic). The frequency-dependent
     #: remainder is derated by ``f / 800``.
@@ -270,6 +273,57 @@ class PolicyConfig:
 
 
 @dataclass(frozen=True)
+class PlacementConfig:
+    """Rank-aware page placement / self-refresh parking parameters.
+
+    Disabled by default: with ``enabled=False`` the memory controller
+    decodes addresses through the plain cache-line interleaver and no
+    rank ever enters self-refresh, so results are byte-identical to a
+    build without this section (pinned by the golden snapshot and a
+    Hypothesis property).
+
+    When enabled, physical pages (``page_lines`` consecutive cache
+    lines) are homed on a single *rank group* — the same within-channel
+    rank index on every channel, preserving channel interleaving while
+    concentrating rank traffic. Per epoch, up to
+    ``migrations_per_epoch`` hot pages (``hot_page_min_accesses``+
+    accesses) are migrated off cold groups into the
+    ``hot_group_fraction`` hottest groups (copy cost modeled as real
+    read+write traffic), and groups that stay access-free for
+    ``sr_idle_epochs`` consecutive epochs are parked in SELF_REFRESH.
+    """
+
+    enabled: bool = False
+    #: Cache lines per OS page (128 x 64 B = 8 KiB, one row buffer).
+    page_lines: int = 128
+    #: Fraction of rank groups kept hot (migration targets; never parked).
+    hot_group_fraction: float = 0.25
+    #: Page-migration budget per epoch (0 disables migration).
+    migrations_per_epoch: int = 16
+    #: Accesses per epoch for a page on a cold group to qualify for
+    #: migration into a hot group.
+    hot_page_min_accesses: int = 1
+    #: Consecutive access-free epochs before a cold group is parked.
+    sr_idle_epochs: int = 1
+    #: Home new pages round-robin across groups until the policy has
+    #: established a hot set (models an unmanaged first-touch allocator);
+    #: False homes every new page on a hot group from the start.
+    spread_initial: bool = True
+
+    def validate(self) -> None:
+        if self.page_lines <= 0:
+            raise ConfigError("PlacementConfig.page_lines must be positive")
+        if not 0.0 < self.hot_group_fraction <= 1.0:
+            raise ConfigError("hot_group_fraction must lie in (0, 1]")
+        if self.migrations_per_epoch < 0:
+            raise ConfigError("migrations_per_epoch must be non-negative")
+        if self.hot_page_min_accesses < 1:
+            raise ConfigError("hot_page_min_accesses must be at least 1")
+        if self.sr_idle_epochs < 1:
+            raise ConfigError("sr_idle_epochs must be at least 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration bundle.
 
@@ -284,6 +338,7 @@ class SystemConfig:
     cpu: CpuConfig = field(default_factory=CpuConfig)
     power: PowerConfig = field(default_factory=PowerConfig)
     policy: PolicyConfig = field(default_factory=PolicyConfig)
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
     bus_freqs_mhz: Tuple[float, ...] = AVAILABLE_BUS_FREQS_MHZ
     #: Arm the runtime DDR3 protocol validator (memsim/validate.py). An
     #: observer only — simulated results are identical either way, so the
@@ -316,6 +371,14 @@ class SystemConfig:
         self.cpu.validate()
         self.power.validate()
         self.policy.validate()
+        self.placement.validate()
+        if self.placement.enabled:
+            interleave = self.org.channels * self.org.banks_per_rank
+            if self.placement.page_lines % interleave != 0:
+                raise ConfigError(
+                    "placement.page_lines must be a multiple of "
+                    f"channels*banks_per_rank ({interleave}) so pages keep "
+                    "full channel/bank interleaving within a rank group")
         if not self.bus_freqs_mhz:
             raise ConfigError("at least one bus frequency is required")
         if len(set(self.bus_freqs_mhz)) != len(self.bus_freqs_mhz):
@@ -339,6 +402,10 @@ class SystemConfig:
 
     def with_cpu(self, **kwargs: object) -> "SystemConfig":
         return self.replace(cpu=dataclasses.replace(self.cpu, **kwargs))
+
+    def with_placement(self, **kwargs: object) -> "SystemConfig":
+        return self.replace(
+            placement=dataclasses.replace(self.placement, **kwargs))
 
     def describe(self) -> Dict[str, object]:
         """Flat summary used by reports and experiment logs."""
@@ -384,6 +451,7 @@ def config_from_dict(payload: Dict[str, object]) -> SystemConfig:
         "timings": DramTimings, "currents": DramCurrents,
         "org": MemoryOrgConfig, "cpu": CpuConfig,
         "power": PowerConfig, "policy": PolicyConfig,
+        "placement": PlacementConfig,
     }
     kwargs: Dict[str, object] = {}
     for name, cls in sections.items():

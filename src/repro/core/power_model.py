@@ -250,11 +250,14 @@ class PowerModel:
         vdd = cur.vdd
         chips = self._config.org.chips_per_rank
         derate = self._freq_derate(bus_mhz)
-        act_stby, pre_stby, act_pd, pre_pd = delta.rank_state_ns[rank].tolist()
+        row = delta.rank_state_ns[rank].tolist()
+        act_stby, pre_stby, act_pd, pre_pd, self_ref = row
         total = (act_stby / interval) * cur.idd3n * vdd * chips * derate
         total += (pre_stby / interval) * cur.idd2n * vdd * chips * derate
         total += (act_pd / interval) * cur.idd3p * vdd * chips * derate
         total += (pre_pd / interval) * cur.idd2p * vdd * chips * derate
+        # Self-refresh keeps only IDD6; the clock is stopped, so no derate.
+        total += (self_ref / interval) * cur.idd6 * vdd * chips
         return total
 
     def predict(self, delta: CounterDelta, candidate: FrequencyPoint,
@@ -298,13 +301,14 @@ class PowerModel:
         total_bg = 0.0
         for row in delta.rank_state_ns.tolist():
             # index order matches counters._STATE_ORDER
-            act_stby, pre_stby, act_pd, pre_pd = row
-            fixed = act_stby + act_pd + pre_pd
+            act_stby, pre_stby, act_pd, pre_pd, self_ref = row
+            fixed = act_stby + act_pd + pre_pd + self_ref
             pre_stby_new = max(0.0, interval - fixed)
             total_bg += (act_stby / interval) * cur.idd3n * vdd * chips * derate
             total_bg += (pre_stby_new / interval) * cur.idd2n * vdd * chips * derate
             total_bg += (act_pd / interval) * cur.idd3p * vdd * chips * derate
             total_bg += (pre_pd / interval) * cur.idd2p * vdd * chips * derate
+            total_bg += (self_ref / interval) * cur.idd6 * vdd * chips
 
         refresh_w = (float(delta.refreshes.sum()) * time_scale
                      * self._e_refresh_rank_j / (interval * 1e-9))
@@ -370,13 +374,14 @@ class PowerModel:
         for rank, row in enumerate(delta.rank_state_ns.tolist()):
             derate = self._freq_derate(
                 channel_bus_mhz[rank // org.ranks_per_channel])
-            act_stby, pre_stby, act_pd, pre_pd = row
-            fixed = act_stby + act_pd + pre_pd
+            act_stby, pre_stby, act_pd, pre_pd, self_ref = row
+            fixed = act_stby + act_pd + pre_pd + self_ref
             pre_stby_new = max(0.0, interval - fixed)
             total_bg += (act_stby / interval) * cur.idd3n * vdd * chips * derate
             total_bg += (pre_stby_new / interval) * cur.idd2n * vdd * chips * derate
             total_bg += (act_pd / interval) * cur.idd3p * vdd * chips * derate
             total_bg += (pre_pd / interval) * cur.idd2p * vdd * chips * derate
+            total_bg += (self_ref / interval) * cur.idd6 * vdd * chips
 
         time_scale = interval / delta.interval_ns
         refresh_w = (float(delta.refreshes.sum()) * time_scale

@@ -130,7 +130,8 @@ class Bank:
         start = max(now,
                     controller.channel_frozen_until_ns(
                         self._channel.channel_id),
-                    rank.refresh_busy_until)
+                    rank.refresh_busy_until,
+                    rank.sr_ready_until)
         # Exiting powerdown costs tXP / tXPDLL and is counted via EPDC.
         exit_penalty = rank.wake_for_access()
         if exit_penalty > 0:

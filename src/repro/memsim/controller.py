@@ -52,6 +52,15 @@ class MemoryController:
         self._device_extra_ns = 0.0
         self.powerdown_mode = powerdown_mode
         self.mapper = AddressMapper(config.org)
+        #: page-granular placement indirection; None when disabled, in
+        #: which case ``_decode`` is exactly ``mapper.decode`` (same
+        #: bound method -> byte-identical off-path behaviour)
+        self.placement = None
+        self._decode = self.mapper.decode
+        if config.placement.enabled:
+            from repro.placement.table import PageTable
+            self.placement = PageTable(config.org, config.placement)
+            self._decode = self.placement.decode
         org = config.org
         cores = n_cores if n_cores is not None else config.cpu.cores
         self.counters = CounterFile(n_cores=cores,
@@ -223,7 +232,7 @@ class MemoryController:
                     on_complete: Optional[Callable[[MemRequest], None]] = None
                     ) -> MemRequest:
         """Convenience wrapper: decode an address and submit an LLC miss."""
-        request = MemRequest(RequestKind.READ, self.mapper.decode(line_addr),
+        request = MemRequest(RequestKind.READ, self._decode(line_addr),
                              core_id=core_id, app_id=app_id,
                              on_complete=on_complete)
         self.submit(request)
@@ -233,7 +242,7 @@ class MemoryController:
                          app_id: int = 0) -> MemRequest:
         """Convenience wrapper: decode an address and submit an LLC
         writeback (deprioritized per Section 4.1's queue rule)."""
-        request = MemRequest(RequestKind.WRITE, self.mapper.decode(line_addr),
+        request = MemRequest(RequestKind.WRITE, self._decode(line_addr),
                              core_id=core_id, app_id=app_id)
         self.submit(request)
         return request
@@ -439,7 +448,10 @@ class MemoryController:
             skipped_total += skipped
             ticks += 1
             head = queue[0]
-            if len(head) != 4:
+            if len(head) != 4 or head[2] is None:
+                # plain housekeeping, or a tombstoned timer (a rank
+                # parked in self-refresh cancels its entry): let the
+                # run loop pop it instead of replaying a dead tick
                 break
             rank = head[3]
             if rank is True:

@@ -158,11 +158,16 @@ class CounterDelta:
         return float(self.channel_busy_ns.mean()) / self.interval_ns
 
 
+#: Column order of the per-rank state-time integrals. SELF_REFRESH is
+#: appended *last* so every pre-existing column keeps its index (and the
+#: power model's row unpacking stays bit-identical when the column is
+#: all zeros — i.e. whenever placement/self-refresh is disabled).
 _STATE_ORDER = (
     RankPowerState.ACTIVE_STANDBY,
     RankPowerState.PRECHARGE_STANDBY,
     RankPowerState.ACTIVE_POWERDOWN,
     RankPowerState.PRECHARGE_POWERDOWN,
+    RankPowerState.SELF_REFRESH,
 )
 _STATE_INDEX: Dict[RankPowerState, int] = {s: i for i, s in enumerate(_STATE_ORDER)}
 

@@ -34,6 +34,7 @@ class Rank:
         "_recent_activates", "refresh_busy_until", "_refresh_due",
         "_refresh_enabled", "_t_rrd_ns", "_t_faw_ns", "_t_refi_ns",
         "_t_rfc_ns", "_active_banks", "_open_rows", "_timer_entry",
+        "_t_ckesr_ns", "_t_xs_ns", "_sr_enter_ns", "sr_ready_until",
     )
 
     def __init__(self, engine: EventEngine, timing: TimingCalculator,
@@ -60,6 +61,14 @@ class Rank:
         self._t_faw_ns = table.t_faw_ns
         self._t_refi_ns = table.t_refi_ns
         self._t_rfc_ns = table.t_rfc_ns
+        self._t_ckesr_ns = table.t_ckesr_ns
+        self._t_xs_ns = table.t_xs_ns
+        # self-refresh parking (entered only by explicit policy calls)
+        self._sr_enter_ns = -1.0
+        #: earliest time a command may issue after a self-refresh exit
+        #: (tCKESR residual + tXS); gates bank service starts like
+        #: ``refresh_busy_until`` does for refresh windows.
+        self.sr_ready_until = -1.0
         # bank-activity counters maintained by the banks (see module docstring)
         self._active_banks = 0
         self._open_rows = 0
@@ -140,6 +149,10 @@ class Rank:
         """All banks precharged & queues empty — maybe enter powerdown."""
         if self._active_banks > 0:
             return
+        if self._state is RankPowerState.SELF_REFRESH:
+            # parked by policy; only an explicit exit (or a demand access
+            # through wake_for_access) takes the rank out of self-refresh
+            return
         if self.powerdown_mode is PowerdownMode.NONE:
             self._transition(RankPowerState.PRECHARGE_STANDBY)
         else:
@@ -158,6 +171,8 @@ class Rank:
         """
         if not self.cke_low:
             return 0.0
+        if self._state is RankPowerState.SELF_REFRESH:
+            return self.exit_self_refresh(for_access=True)
         self._counters.record_powerdown_exit()
         v = self.validator
         if v is not None:
@@ -166,6 +181,75 @@ class Rank:
                          if self._state.all_precharged
                          else RankPowerState.ACTIVE_STANDBY)
         return self._timing.powerdown_exit_ns(self.powerdown_mode)
+
+    # -- self-refresh parking ------------------------------------------------
+
+    def can_enter_self_refresh(self) -> bool:
+        """Entry legality: every bank idle and precharged, no refresh in
+        progress or pending, and any previous exit window fully elapsed."""
+        now = self._engine.now
+        return (self._state is not RankPowerState.SELF_REFRESH
+                and self._active_banks == 0
+                and self._open_rows == 0
+                and not self._refresh_due
+                and self.refresh_busy_until <= now
+                and self.sr_ready_until <= now)
+
+    def enter_self_refresh(self) -> bool:
+        """Park the rank in self-refresh (policy call, e.g. rank drained).
+
+        Suspends the external refresh timer — the device refreshes
+        itself — and starts the tCKESR residency clock. Returns False
+        without side effects when entry is not currently legal.
+        """
+        if not self.can_enter_self_refresh():
+            return False
+        now = self._engine.now
+        v = self.validator
+        if v is not None:
+            v.on_sr_enter(self.global_rank_index, now)
+        if self._timer_entry is not None:
+            self._engine.tombstone(self._timer_entry)
+            self._timer_entry = None
+        self._sr_enter_ns = now
+        self._transition(RankPowerState.SELF_REFRESH)
+        return True
+
+    def exit_self_refresh(self, for_access: bool = False) -> float:
+        """Leave self-refresh; returns the exit penalty in nanoseconds.
+
+        The penalty is the unexpired part of the tCKESR minimum
+        residency plus tXS. The caller (policy unpark, or the bank's
+        demand-access wake path) must not issue a command to the rank
+        before ``now + penalty``; ``sr_ready_until`` records that bound
+        so concurrent accesses to other banks are gated too. External
+        refresh resumes with a fresh tREFI interval (the device kept
+        every row alive internally while parked).
+        """
+        if self._state is not RankPowerState.SELF_REFRESH:
+            return 0.0
+        now = self._engine.now
+        residual = self._sr_enter_ns + self._t_ckesr_ns - now
+        if residual < 0.0:
+            residual = 0.0
+        penalty = residual + self._t_xs_ns
+        ready = now + penalty
+        self.sr_ready_until = ready
+        if for_access:
+            self._counters.record_powerdown_exit()
+            v = self.validator
+            if v is not None:
+                v.on_powerdown_exit(self.global_rank_index, now)
+        # Notify the exit while still in SR: on_rank_state clears the
+        # validator's in-SR flag, so the order is exit, then transition.
+        v = self.validator
+        if v is not None:
+            v.on_sr_exit(self.global_rank_index, now, ready, for_access)
+        self._transition(RankPowerState.PRECHARGE_STANDBY)
+        if self._refresh_enabled:
+            self._timer_entry = self._engine.post_housekeeping(
+                self._t_refi_ns, self._refresh_timer, self)
+        return penalty
 
     # -- activation window (tRRD / tFAW) -----------------------------------
 

@@ -14,22 +14,31 @@ class RankPowerState(enum.Enum):
     ``PRECHARGE_POWERDOWN`` -- all banks precharged, CKE low (IDD2P);
                             the state used both for idle power savings and
                             for frequency re-calibration (Section 3.1)
+    ``SELF_REFRESH``      -- all banks precharged, CKE low, the device
+                            refreshes itself (IDD6); external refresh is
+                            suspended, entry needs tCKESR of CKE-low and
+                            exit pays tXS before any command. Entered
+                            only by explicit policy (rank parking), never
+                            by the reactive powerdown modes.
     """
 
     ACTIVE_STANDBY = "act_stby"
     PRECHARGE_STANDBY = "pre_stby"
     ACTIVE_POWERDOWN = "act_pd"
     PRECHARGE_POWERDOWN = "pre_pd"
+    SELF_REFRESH = "self_ref"
 
     @property
     def cke_low(self) -> bool:
         return self in (RankPowerState.ACTIVE_POWERDOWN,
-                        RankPowerState.PRECHARGE_POWERDOWN)
+                        RankPowerState.PRECHARGE_POWERDOWN,
+                        RankPowerState.SELF_REFRESH)
 
     @property
     def all_precharged(self) -> bool:
         return self in (RankPowerState.PRECHARGE_STANDBY,
-                        RankPowerState.PRECHARGE_POWERDOWN)
+                        RankPowerState.PRECHARGE_POWERDOWN,
+                        RankPowerState.SELF_REFRESH)
 
 
 class PowerdownMode(enum.Enum):

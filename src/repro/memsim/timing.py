@@ -40,6 +40,8 @@ class TimingTable(NamedTuple):
     t_rfc_ns: float
     t_xp_ns: float
     t_xpdll_ns: float
+    t_ckesr_ns: float
+    t_xs_ns: float
 
 
 class FrequencyTimings(NamedTuple):
@@ -85,6 +87,8 @@ class TimingCalculator:
             t_rfc_ns=timings.t_rfc_ns,
             t_xp_ns=timings.t_xp_ns,
             t_xpdll_ns=timings.t_xpdll_ns,
+            t_ckesr_ns=timings.t_ckesr_ns,
+            t_xs_ns=timings.t_xs_ns,
         )
         self._freq_tables: Dict[float, FrequencyTimings] = {}
 
@@ -133,6 +137,14 @@ class TimingCalculator:
         if mode is PowerdownMode.FAST_EXIT:
             return self._t.t_xp_ns
         return 0.0
+
+    def self_refresh_entry_ns(self) -> float:
+        """tCKESR: minimum CKE-low residency once self-refresh is entered."""
+        return self._t.t_ckesr_ns
+
+    def self_refresh_exit_ns(self) -> float:
+        """tXS: delay from self-refresh exit to the first valid command."""
+        return self._t.t_xs_ns
 
     def precharge_ns(self) -> float:
         return self._t.t_rp_ns

@@ -13,7 +13,10 @@ constraints and the scheduling rules of Section 4.1:
   refreshes may be postponed at most ``max_postponed_refreshes``
   intervals), no refresh overlap, powerdown entry legality (CKE may go
   low only with every bank idle; precharge powerdown additionally needs
-  every row closed), and EPDC accounting on every access-path exit;
+  every row closed), EPDC accounting on every access-path exit, and the
+  self-refresh state machine (entry only with the rank drained and no
+  refresh pending, no commands or external refreshes while parked, and
+  the tCKESR + tXS exit window honored before the next command);
 * per-channel: data-burst non-overlap, burst length consistent with the
   channel's clock, no burst or bank service start inside a
   frequency-transition freeze window;
@@ -144,10 +147,15 @@ class ProtocolValidator:
         self._refresh_due_last: Dict[int, float] = {}
         self._refresh_issue_last: Dict[int, float] = {}
         self._refresh_busy_until: Dict[int, float] = {}
+        # self-refresh state machine (validator's own copy)
+        self._in_sr: Dict[int, bool] = {}
+        self._sr_enter: Dict[int, float] = {}
+        self._sr_ready: Dict[int, float] = {}
         # powerdown accounting
         self._pd_exits_total = 0       # CKE-low -> CKE-high transitions
         self._pd_exits_access = 0      # exits that recorded an EPDC event
         self._pd_exits_refresh = 0     # wakes performed to issue a refresh
+        self._pd_exits_sr = 0          # policy-driven self-refresh unparks
         # conservation
         self.submitted = 0
         self.completed = 0
@@ -334,6 +342,20 @@ class ProtocolValidator:
             request_id=request.request_id,
             required_ns=self._refresh_busy_until.get(rank_index, 0.0),
             actual_ns=start_ns)
+        self._check(
+            "sr-activate", not self._in_sr.get(rank_index, False), start_ns,
+            f"bank service started at {start_ns:.3f}ns while rank "
+            f"{rank_index} is in self-refresh (CKE low, no commands legal)",
+            channel=channel, rank=rank_index, bank=bank_id,
+            request_id=request.request_id, actual_ns=start_ns)
+        sr_ready = self._sr_ready.get(rank_index, 0.0)
+        self._check(
+            "sr-exit", start_ns >= sr_ready - EPS_NS, start_ns,
+            f"bank service started at {start_ns:.3f}ns inside rank "
+            f"{rank_index}'s self-refresh exit window (tXS until "
+            f"{sr_ready:.3f}ns)", channel=channel, rank=rank_index,
+            bank=bank_id, request_id=request.request_id,
+            required_ns=sr_ready, actual_ns=start_ns)
 
         # row-buffer state consistency against the validator's own map
         open_row = self._open_row.get(key)
@@ -493,6 +515,11 @@ class ProtocolValidator:
 
     def on_refresh_due(self, rank_index: int, now_ns: float) -> None:
         """The rank's refresh timer ticked (refresh became pending)."""
+        self._check(
+            "sr-refresh", not self._in_sr.get(rank_index, False), now_ns,
+            f"rank {rank_index}'s external refresh timer ticked at "
+            f"{now_ns:.1f}ns while the rank is in self-refresh (the timer "
+            f"must be suspended)", rank=rank_index, actual_ns=now_ns)
         t_refi = self._t.t_refi_ns
         last = self._refresh_due_last.get(rank_index)
         if last is None:
@@ -515,6 +542,11 @@ class ProtocolValidator:
                          was_powered_down: bool) -> None:
         """A refresh command actually issued to the rank."""
         t = self._t
+        self._check(
+            "sr-refresh", not self._in_sr.get(rank_index, False), now_ns,
+            f"external refresh issued at {now_ns:.1f}ns to rank "
+            f"{rank_index} while it is in self-refresh", rank=rank_index,
+            actual_ns=now_ns)
         prev_busy = self._refresh_busy_until.get(rank_index, 0.0)
         self._check(
             "refresh-overlap", now_ns >= prev_busy - EPS_NS, now_ns,
@@ -543,6 +575,65 @@ class ProtocolValidator:
         if was_powered_down:
             self._pd_exits_refresh += 1
 
+    def on_sr_enter(self, rank_index: int, now_ns: float) -> None:
+        """The rank is being parked in self-refresh (policy decision)."""
+        self._check(
+            "sr-entry", not self._in_sr.get(rank_index, False), now_ns,
+            f"rank {rank_index} entered self-refresh at {now_ns:.1f}ns but "
+            f"was already in self-refresh", rank=rank_index)
+        open_rows = [b for b in range(self._org.banks_per_rank)
+                     if self._open_row.get((rank_index, b)) is not None]
+        self._check(
+            "sr-entry", not open_rows, now_ns,
+            f"rank {rank_index} entered self-refresh with open rows in "
+            f"banks {open_rows}", rank=rank_index)
+        busy_until = self._refresh_busy_until.get(rank_index, 0.0)
+        self._check(
+            "sr-entry", now_ns >= busy_until - EPS_NS, now_ns,
+            f"rank {rank_index} entered self-refresh at {now_ns:.1f}ns "
+            f"inside its refresh window (until {busy_until:.1f}ns)",
+            rank=rank_index, required_ns=busy_until, actual_ns=now_ns)
+        due = self._refresh_due_last.get(rank_index)
+        issue = self._refresh_issue_last.get(rank_index)
+        pending = due is not None and (issue is None or issue < due - EPS_NS)
+        self._check(
+            "sr-entry", not pending, now_ns,
+            f"rank {rank_index} entered self-refresh with an external "
+            f"refresh still pending (due at {due}, last issued at {issue})",
+            rank=rank_index)
+        self._sr_enter[rank_index] = now_ns
+
+    def on_sr_exit(self, rank_index: int, now_ns: float, ready_ns: float,
+                   for_access: bool) -> None:
+        """The rank left self-refresh; commands are legal from ``ready_ns``.
+
+        ``for_access`` marks demand-access wakes (EPDC was recorded by
+        the rank); policy unparks land in their own exit category.
+        Resets the refresh-cadence baselines: the device refreshed
+        itself while parked, so external cadence restarts at the exit.
+        """
+        self._check(
+            "sr-exit", self._in_sr.get(rank_index, False), now_ns,
+            f"rank {rank_index} exited self-refresh at {now_ns:.1f}ns "
+            f"without having entered it", rank=rank_index)
+        enter = self._sr_enter.get(rank_index)
+        if enter is not None:
+            t = self._t
+            required = max(now_ns, enter + t.t_ckesr_ns) + t.t_xs_ns
+            self._check(
+                "sr-exit", ready_ns >= required - EPS_NS, now_ns,
+                f"rank {rank_index}'s self-refresh exit window ends at "
+                f"{ready_ns:.1f}ns, before tCKESR residency plus "
+                f"tXS={t.t_xs_ns}ns elapse ({required:.1f}ns)",
+                rank=rank_index, required_ns=required, actual_ns=ready_ns)
+        self._in_sr[rank_index] = False
+        self._sr_ready[rank_index] = ready_ns
+        # cadence baselines restart at the exit point
+        self._refresh_due_last[rank_index] = now_ns
+        self._refresh_issue_last[rank_index] = now_ns
+        if not for_access:
+            self._pd_exits_sr += 1
+
     def on_rank_state(self, rank_index: int, old: RankPowerState,
                       new: RankPowerState, now_ns: float,
                       any_bank_busy: bool) -> None:
@@ -561,16 +652,21 @@ class ProtocolValidator:
                 rank=rank_index,
                 required_ns=self._refresh_busy_until.get(rank_index, 0.0),
                 actual_ns=now_ns)
-            if new is RankPowerState.PRECHARGE_POWERDOWN:
+            if new in (RankPowerState.PRECHARGE_POWERDOWN,
+                       RankPowerState.SELF_REFRESH):
                 open_rows = [b for b in range(self._org.banks_per_rank)
                              if self._open_row.get((rank_index, b))
                              is not None]
                 self._check(
                     "powerdown-entry", not open_rows, now_ns,
-                    f"rank {rank_index} entered precharge powerdown with "
+                    f"rank {rank_index} entered {new.value} with "
                     f"open rows in banks {open_rows}", rank=rank_index)
         if old.cke_low and not new.cke_low:
             self._pd_exits_total += 1
+        if new is RankPowerState.SELF_REFRESH:
+            self._in_sr[rank_index] = True
+        elif old is RankPowerState.SELF_REFRESH:
+            self._in_sr[rank_index] = False
 
     def on_powerdown_exit(self, rank_index: int, now_ns: float) -> None:
         """The rank exited powerdown for an access (EPDC was recorded)."""
@@ -612,11 +708,13 @@ class ProtocolValidator:
         self._check(
             "powerdown-exit-epdc",
             self._pd_exits_total
-            == self._pd_exits_access + self._pd_exits_refresh,
+            == self._pd_exits_access + self._pd_exits_refresh
+            + self._pd_exits_sr,
             now,
             f"{self._pd_exits_total} CKE-low exits observed but only "
-            f"{self._pd_exits_access} EPDC events and "
-            f"{self._pd_exits_refresh} refresh wakes were recorded")
+            f"{self._pd_exits_access} EPDC events, "
+            f"{self._pd_exits_refresh} refresh wakes and "
+            f"{self._pd_exits_sr} self-refresh unparks were recorded")
         if controller is None:
             return
         completed = (controller.completed_reads + controller.completed_writes

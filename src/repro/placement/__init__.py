@@ -1,0 +1,37 @@
+"""OS-level page-to-rank placement and migration (ROADMAP: rank-aware
+placement, deep powerdown, and self-refresh).
+
+MemScale's Section 6 gestures at combining frequency scaling with deeper
+rank-level low-power states; what makes those states pay is
+*concentrating* hot pages onto few ranks so the rest can be parked (Lu
+et al.'s rank-aware migration, the gem5 power-down study). This package
+adds that missing layer:
+
+* :class:`~repro.placement.table.PageTable` — a page-granular indirection
+  over the interleaved address mapper: each page is homed on a rank
+  *group* (the same within-channel rank index on every channel, so full
+  channel interleaving is preserved inside a page) and can be re-homed
+  at run time;
+* :class:`~repro.placement.policy.PlacementPolicy` — per-epoch hot/cold
+  page classification from access counters, bounded hot-page migrations
+  into a small set of target groups, and self-refresh parking of groups
+  that stay idle;
+* :class:`~repro.placement.policy.MigrationPump` — issues each migrated
+  line as a real READ + WRITE request pair through the memory
+  controller, so migration traffic is timed, power-accounted, and
+  validator-checked exactly like demand traffic;
+* :class:`~repro.placement.governor.PlacementGovernor` — composes the
+  placement policy with any inner governor (normally MemScale) through
+  the standard Governor protocol.
+"""
+
+from repro.placement.governor import PlacementGovernor
+from repro.placement.policy import MigrationPump, PlacementPolicy
+from repro.placement.table import PageTable
+
+__all__ = [
+    "MigrationPump",
+    "PageTable",
+    "PlacementGovernor",
+    "PlacementPolicy",
+]

@@ -1,0 +1,105 @@
+"""PlacementGovernor: placement/self-refresh composed with any governor.
+
+Wraps an inner governor (normally
+:class:`~repro.core.governor.MemScaleGovernor`) and delegates every
+frequency decision to it; at each epoch boundary, after the inner
+governor's bookkeeping, it runs one
+:class:`~repro.placement.policy.PlacementPolicy` step — classify pages,
+enqueue migrations, park cold rank groups. The composition keeps the
+two policy families orthogonal: MemScale picks the SER-minimal
+frequency for the traffic it sees, placement reshapes *where* that
+traffic lands so cold ranks can reach self-refresh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.governor import Governor
+from repro.memsim.controller import MemoryController
+from repro.memsim.counters import CounterDelta
+from repro.memsim.states import PowerdownMode, RankPowerState
+from repro.placement.policy import MigrationPump, PlacementPolicy
+
+
+class PlacementGovernor(Governor):
+    """Inner governor plus per-epoch page placement and SR parking."""
+
+    def __init__(self, inner: Governor):
+        self._inner = inner
+        self.name = f"{inner.name}+Placement"
+        self._policy: Optional[PlacementPolicy] = None
+        self._pump: Optional[MigrationPump] = None
+        self._last_stats: Dict[str, object] = {}
+        self._last_sr_residency: Optional[List[float]] = None
+
+    @property
+    def inner(self) -> Governor:
+        return self._inner
+
+    @property
+    def pump(self) -> Optional[MigrationPump]:
+        return self._pump
+
+    @property
+    def policy(self) -> Optional[PlacementPolicy]:
+        return self._policy
+
+    @property
+    def powerdown_mode(self) -> PowerdownMode:
+        return self._inner.powerdown_mode
+
+    def setup(self, controller: MemoryController) -> None:
+        if controller.placement is None:
+            raise ValueError(
+                "PlacementGovernor needs config.placement.enabled=True "
+                "(the controller has no page table)")
+        self._inner.setup(controller)
+        self._policy = PlacementPolicy(controller.config.placement,
+                                       controller.config.org)
+        self._pump = MigrationPump(controller)
+
+    def on_profile_end(self, delta: CounterDelta,
+                       controller: MemoryController,
+                       epoch_remaining_ns: float) -> None:
+        self._inner.on_profile_end(delta, controller, epoch_remaining_ns)
+
+    def on_epoch_end(self, delta: CounterDelta,
+                     controller: MemoryController,
+                     epoch_wall_ns: float) -> None:
+        self._inner.on_epoch_end(delta, controller, epoch_wall_ns)
+        stats = self._policy.on_epoch_end(controller, controller.placement,
+                                          self._pump)
+        self._last_stats = stats
+        n_ranks = delta.rank_state_ns.shape[0]
+        self._last_sr_residency = [
+            float(delta.rank_state_fraction(r, RankPowerState.SELF_REFRESH))
+            for r in range(n_ranks)]
+
+    def device_bus_mhz(self, controller: MemoryController) -> Optional[float]:
+        return self._inner.device_bus_mhz(controller)
+
+    def channel_bus_mhz(self, controller: MemoryController
+                        ) -> Optional[List[float]]:
+        return self._inner.channel_bus_mhz(controller)
+
+    def placement_summary(self) -> Dict[str, object]:
+        """Run-level placement accounting (call after the run)."""
+        summary: Dict[str, object] = {}
+        if self._pump is not None:
+            table = self._pump.controller.placement
+            if table is not None:
+                summary.update(table.stats())
+            summary.update(self._pump.stats())
+        if self._policy is not None:
+            summary["migrations"] = self._policy.total_migrations
+            summary["parked_ranks"] = self._policy.total_parks
+        return summary
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        snap = dict(self._inner.telemetry_snapshot())
+        snap["migrations_per_epoch"] = self._last_stats.get("migrations")
+        if self._last_sr_residency is not None:
+            snap["rank_state_residency"] = {
+                "self_ref": self._last_sr_residency}
+        return snap

@@ -1,0 +1,180 @@
+"""Page table: page-granular indirection over the address mapper.
+
+The flat :class:`~repro.memsim.address.AddressMapper` stripes
+consecutive lines across channels, banks, and ranks, so every page
+touches every rank — the layout that makes rank-level low-power states
+useless. The page table replaces the rank digit of the decode with a
+per-page *group* assignment:
+
+* a **group** is the set of global ranks sharing one within-channel rank
+  index (group ``g`` = ranks ``c * ranks_per_channel + g`` for every
+  channel ``c``). A page's lines still interleave over all channels and
+  banks — full bus parallelism — but touch only its group's ranks;
+* a **frame** is the page-sized slot the page occupies inside its group's
+  row space; migration assigns a fresh frame in the destination group.
+
+Decode of ``line_addr`` with ``P`` lines per page, ``C`` channels,
+``B`` banks per rank::
+
+    page, offset = divmod(line_addr, P)
+    channel      = offset % C
+    bank         = (offset // C) % B
+    intra        = offset // (C * B)            # line index inside (page, channel, bank)
+    line_in_bank = frame * (P // (C * B)) + intra
+    row, column  = from line_in_bank, modulo the bank's row space
+
+The table also keeps the per-epoch access counters the placement policy
+classifies pages with (hot/cold), mirroring the OS page-access-bit
+scanning a real kernel would do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MemoryOrgConfig, PlacementConfig
+from repro.memsim.address import MemoryLocation
+
+
+class PageTable:
+    """Page -> (group, frame) mapping with access counting and migration."""
+
+    def __init__(self, org: MemoryOrgConfig, placement: PlacementConfig):
+        placement.validate()
+        if placement.page_lines % (org.channels * org.banks_per_rank):
+            raise ValueError(
+                f"page_lines ({placement.page_lines}) must be a multiple of "
+                f"channels*banks ({org.channels * org.banks_per_rank}) so "
+                f"pages stripe evenly over channels and banks")
+        self._channels = org.channels
+        self._banks = org.banks_per_rank
+        self._lines_per_row = org.lines_per_row
+        self._rows_per_bank = org.rows_per_bank
+        self._page_lines = placement.page_lines
+        self._lines_per_bank_page = (placement.page_lines
+                                     // (org.channels * org.banks_per_rank))
+        self.n_groups = org.ranks_per_channel
+        self._spread_initial = placement.spread_initial
+        # page id -> [group, frame, epoch_access_count]
+        self._pages: Dict[int, List[int]] = {}
+        self._next_frame = [0] * self.n_groups
+        #: allocation steering: when set, new pages round-robin over this
+        #: group list instead of spreading over all groups
+        self._steer: Optional[Tuple[int, ...]] = None
+        self._steer_rr = 0
+        self._touched: List[int] = []
+        # stats
+        self.pages_allocated = 0
+        self.migrations = 0
+        self.migrated_lines = 0
+
+    @property
+    def page_lines(self) -> int:
+        return self._page_lines
+
+    # -- decode (controller hot path when placement is enabled) -------------
+
+    def decode(self, line_addr: int) -> MemoryLocation:
+        """Map a line address through the page table (counts the access)."""
+        page, offset = divmod(line_addr, self._page_lines)
+        entry = self._pages.get(page)
+        if entry is None:
+            entry = self._allocate(page)
+        if entry[2] == 0:
+            self._touched.append(page)
+        entry[2] += 1
+        channel = offset % self._channels
+        rest = offset // self._channels
+        bank = rest % self._banks
+        intra = rest // self._banks
+        line_in_bank = entry[1] * self._lines_per_bank_page + intra
+        row_index, column = divmod(line_in_bank, self._lines_per_row)
+        return MemoryLocation(channel, entry[0],
+                              bank, row_index % self._rows_per_bank, column)
+
+    def _allocate(self, page: int) -> List[int]:
+        """First-touch allocation: spread over groups, or follow steering."""
+        steer = self._steer
+        if steer is not None:
+            group = steer[self._steer_rr % len(steer)]
+            self._steer_rr += 1
+        elif self._spread_initial:
+            group = page % self.n_groups
+        else:
+            group = 0
+        frame = self._next_frame[group]
+        self._next_frame[group] = frame + 1
+        entry = [group, frame, 0]
+        self._pages[page] = entry
+        self.pages_allocated += 1
+        return entry
+
+    # -- policy interface ---------------------------------------------------
+
+    def group_of(self, page: int) -> int:
+        return self._pages[page][0]
+
+    def steer_to(self, groups: Optional[Sequence[int]]) -> None:
+        """Steer future first-touch allocations to ``groups`` (None clears)."""
+        self._steer = tuple(groups) if groups else None
+
+    def collect_epoch(self) -> Dict[int, int]:
+        """Access counts of pages touched since the last collection;
+        resets the counters (the policy calls this once per epoch)."""
+        counts: Dict[int, int] = {}
+        pages = self._pages
+        for page in self._touched:
+            entry = pages[page]
+            counts[page] = entry[2]
+            entry[2] = 0
+        self._touched = []
+        return counts
+
+    def _locate(self, group: int, frame: int, offset: int) -> MemoryLocation:
+        channel = offset % self._channels
+        rest = offset // self._channels
+        bank = rest % self._banks
+        intra = rest // self._banks
+        line_in_bank = frame * self._lines_per_bank_page + intra
+        row_index, column = divmod(line_in_bank, self._lines_per_row)
+        return MemoryLocation(channel, group, bank,
+                              row_index % self._rows_per_bank, column)
+
+    def migrate(self, page: int,
+                new_group: int) -> List[Tuple[MemoryLocation,
+                                              MemoryLocation]]:
+        """Re-home ``page`` onto ``new_group``.
+
+        The mapping switches immediately (demand accesses follow the new
+        location); the returned (old, new) line-location pairs are the
+        copy traffic the caller must drive through the controller so the
+        move is timed and power-accounted.
+        """
+        if not 0 <= new_group < self.n_groups:
+            raise ValueError(f"no such rank group: {new_group}")
+        entry = self._pages[page]
+        old_group, old_frame = entry[0], entry[1]
+        if old_group == new_group:
+            return []
+        new_frame = self._next_frame[new_group]
+        self._next_frame[new_group] = new_frame + 1
+        pairs = [(self._locate(old_group, old_frame, offset),
+                  self._locate(new_group, new_frame, offset))
+                 for offset in range(self._page_lines)]
+        entry[0] = new_group
+        entry[1] = new_frame
+        self.migrations += 1
+        self.migrated_lines += len(pairs)
+        return pairs
+
+    def group_ranks(self, group: int) -> List[int]:
+        """Global rank indices belonging to ``group`` (one per channel)."""
+        rpc = self.n_groups
+        return [c * rpc + group for c in range(self._channels)]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "pages_allocated": self.pages_allocated,
+            "migrations": self.migrations,
+            "migrated_lines": self.migrated_lines,
+        }

@@ -145,6 +145,41 @@ class MultiDomainOutcome:
     telemetry_path: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class PlacementJob:
+    """One unit of placement-sweep work: a mix with or without the
+    rank-aware page-placement layer.
+
+    ``placed=True`` runs MemScale wrapped in a
+    :class:`~repro.placement.governor.PlacementGovernor` on a
+    placement-enabled copy of the sweep config (page table, hot-page
+    migration, self-refresh parking); ``placed=False`` runs plain
+    MemScale on the config as given — the reference the placement leg
+    must beat on memory energy at the same CPI-degradation target.
+    """
+
+    mix: str
+    placed: bool
+
+
+@dataclass
+class PlacementOutcome:
+    """Result of one :class:`PlacementJob`, with placement accounting."""
+
+    mix: str
+    placed: bool
+    governor: str
+    result: RunResult
+    comparison: PolicyComparison
+    min_perf: float                   #: min-app normalized performance
+    avg_power_w: float                #: run-average memory power
+    #: migration/parking/copy-traffic counters (None on the reference leg)
+    placement: Optional[Dict[str, object]]
+    wall_s: float
+    cache_hits: int = 0
+    telemetry_path: Optional[str] = None
+
+
 @dataclass
 class SweepOutcome:
     """Result of one :class:`SweepJob`, with execution metadata."""
@@ -195,6 +230,8 @@ def job_label(job: object) -> str:
     if isinstance(job, MultiDomainJob):
         return (f"{job.mix}/"
                 f"{multidomain_label(job.budget_fraction, job.coordinated)}")
+    if isinstance(job, PlacementJob):
+        return f"{job.mix}/{placement_label(job.placed)}"
     return str(job)
 
 
@@ -230,6 +267,11 @@ def multidomain_label(budget_fraction: float, coordinated: bool) -> str:
     """Display/file label for one multi-domain sweep point."""
     prefix = "MD" if coordinated else "MemOnly"
     return f"{prefix}{budget_fraction:.2f}"
+
+
+def placement_label(placed: bool) -> str:
+    """Display/file label for one placement sweep leg."""
+    return "Placed" if placed else "NoPlacement"
 
 
 # -- worker-side entry points (module level: must be picklable) -----------
@@ -384,6 +426,51 @@ def _run_multidomain_job(args: Tuple[SystemConfig, RunnerSettings,
         avg_power_w=result.avg_memory_power_w + avg_core_w,
         avg_core_power_w=avg_core_w, core_energy_j=core_energy_j,
         system_energy_j=system_energy_j, summary=summary,
+        wall_s=time.perf_counter() - start,
+        cache_hits=hits, telemetry_path=telemetry_path)
+
+
+def _run_placement_job(args: Tuple[SystemConfig, RunnerSettings,
+                                   PlacementJob, Optional[str],
+                                   Optional[str]]) -> PlacementOutcome:
+    """Fan-out task: one placement (or plain-MemScale reference) run.
+
+    The placed leg flips ``config.placement.enabled`` on a copy of the
+    sweep config — inheriting any tuned placement knobs the caller set —
+    so the reference leg decodes through the untouched interleaver. The
+    two legs share the trace but not baselines: a placement-enabled
+    config routes addresses through the page table even under the
+    Baseline governor, so each leg is normalized against its own
+    baseline and the legs are compared on absolute energy.
+    """
+    config, settings, job, cache_dir, telemetry_dir = args
+    start = time.perf_counter()
+    if job.placed:
+        config = config.with_placement(enabled=True)
+    runner = _make_runner(config, settings, cache_dir)
+    if job.placed:
+        governor = runner.make_placement_governor(job.mix)
+    else:
+        governor = runner.make_memscale_governor(job.mix)
+    telemetry = None
+    telemetry_path = None
+    if telemetry_dir is not None:
+        telemetry_path = str(Path(telemetry_dir) / telemetry_filename(
+            job.mix, placement_label(job.placed)))
+        telemetry = JsonlTelemetry(telemetry_path)
+    try:
+        result, comparison = runner.run_and_compare(
+            job.mix, governor, telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    placement = governor.placement_summary() if job.placed else None
+    hits = runner.cache.hits if runner.cache is not None else 0
+    return PlacementOutcome(
+        mix=job.mix, placed=job.placed, governor=governor.name,
+        result=result, comparison=comparison,
+        min_perf=1.0 / (1.0 + comparison.worst_cpi_increase),
+        avg_power_w=result.avg_memory_power_w, placement=placement,
         wall_s=time.perf_counter() - start,
         cache_hits=hits, telemetry_path=telemetry_path)
 
@@ -724,6 +811,57 @@ def run_multidomain_sweep(mixes: Sequence[str],
     job_args = [(config, settings, job, cache_dir, telemetry_dir)
                 for job in md_jobs]
     return _fan_out(_run_multidomain_job, job_args, md_jobs, mixes,
+                    config, settings, cache_dir, jobs, retries)
+
+
+def run_placement_sweep(mixes: Sequence[str],
+                        config: Optional[SystemConfig] = None,
+                        settings: Optional[RunnerSettings] = None,
+                        jobs: Optional[int] = None,
+                        cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR,
+                        telemetry_dir: Optional[PathLike] = None,
+                        include_reference: bool = True,
+                        retries: int = 0) -> List[PlacementOutcome]:
+    """Evaluate every ``mix`` with and without rank-aware placement.
+
+    The placement leg wraps MemScale in a
+    :class:`~repro.placement.governor.PlacementGovernor` on a
+    placement-enabled copy of ``config`` (hot-page migration onto few
+    rank groups, self-refresh parking of the rest); with
+    ``include_reference`` each mix also runs plain MemScale on
+    ``config`` unchanged. Placement's gain is judged between the two
+    legs' *absolute* memory energies, not their baseline-normalized
+    savings — enabling placement changes the decode of the baseline run
+    too, so the legs do not share a reference.
+
+    Pass a ``config`` with tuned ``config.placement`` knobs (epoch
+    budget, parking threshold, ...) to shape the placed leg; only the
+    ``enabled`` flag is flipped inside the worker.
+
+    Outcomes are ordered ``mix x (placed, reference)`` in input order,
+    so per-mix pairs sit adjacent.
+    """
+    mixes = list(mixes)
+    if not mixes:
+        raise ValueError("need at least one mix")
+    _check_inputs(mixes, [])
+    config = config if config is not None else scaled_config()
+    settings = settings if settings is not None else RunnerSettings()
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    if telemetry_dir is not None:
+        Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
+        telemetry_dir = str(telemetry_dir)
+
+    legs = [True, False] if include_reference else [True]
+    pl_jobs = [PlacementJob(mix, placed)
+               for mix in mixes for placed in legs]
+    job_args = [(config, settings, job, cache_dir, telemetry_dir)
+                for job in pl_jobs]
+    return _fan_out(_run_placement_job, job_args, pl_jobs, mixes,
                     config, settings, cache_dir, jobs, retries)
 
 

@@ -97,6 +97,13 @@ GOVERNOR_INFO = (
      "domains (run via `repro multidomain`).",
      "budget_w | budget_fraction, perf_bound, CoreDvfsConfig",
      "docs/multidomain.md"),
+    ("MemScale+Placement", "none",
+     "MemScale plus rank-aware page placement: hot-page migration onto "
+     "few rank groups and self-refresh parking of cold ranks (run via "
+     "`repro placement`).",
+     "config.placement (page_lines, hot_group_fraction, "
+     "migrations_per_epoch, sr_idle_epochs)",
+     "docs/placement.md"),
 )
 
 
@@ -211,6 +218,19 @@ class ExperimentRunner:
                                 n_cores=self.settings.cores,
                                 objective=objective, pd_exit_ns=pd_exit)
         return MemScaleGovernor(policy, use_powerdown=use_powerdown)
+
+    def make_placement_governor(self, mix: str,
+                                use_powerdown: bool = False
+                                ) -> "PlacementGovernor":
+        """MemScale wrapped with rank-aware page placement/self-refresh.
+
+        Requires a placement-enabled config (``config.placement.enabled``)
+        so the controller builds a page table; :meth:`run_governor` will
+        raise from the governor's ``setup`` otherwise.
+        """
+        from repro.placement import PlacementGovernor
+        inner = self.make_memscale_governor(mix, use_powerdown=use_powerdown)
+        return PlacementGovernor(inner)
 
     def make_named_governor(self, mix: str, name: str) -> Governor:
         if name == "Baseline":

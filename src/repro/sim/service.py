@@ -49,10 +49,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.config import (ConfigError, SystemConfig, config_from_dict,
                           config_to_dict, scaled_config)
 from repro.sim.cache import config_fingerprint
-from repro.sim.parallel import (CapJob, JobFailure, MultiDomainJob, SweepJob,
-                                _run_cap_job, _run_job, _run_multidomain_job,
-                                default_jobs, execute_jobs, job_label,
-                                warm_mixes)
+from repro.sim.parallel import (CapJob, JobFailure, MultiDomainJob,
+                                PlacementJob, SweepJob, _run_cap_job,
+                                _run_job, _run_multidomain_job,
+                                _run_placement_job, default_jobs,
+                                execute_jobs, job_label, warm_mixes)
 from repro.sim.runner import RunnerSettings
 from repro.sim.store import (ResultStore, failure_record, ok_record,
                              outcome_from_dict)
@@ -101,7 +102,9 @@ class JobSpec:
     ``kind`` selects the sweep flavour; the point fields mirror the
     corresponding job dataclass (``policy`` for policy sweeps,
     ``budget_fraction`` — None meaning the throttle reference — for cap
-    sweeps, ``budget_fraction`` + ``coordinated`` for multi-domain).
+    sweeps, ``budget_fraction`` + ``coordinated`` for multi-domain,
+    ``coordinated`` carrying the placed flag for placement sweeps — a
+    boolean leg selector either way, so the key schema is unchanged).
     """
 
     kind: str
@@ -111,7 +114,7 @@ class JobSpec:
     coordinated: Optional[bool] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("policy", "cap", "multidomain"):
+        if self.kind not in ("policy", "cap", "multidomain", "placement"):
             raise ValueError(f"unknown job kind {self.kind!r}")
         if self.kind == "policy" and not self.policy:
             raise ValueError("policy jobs need a policy name")
@@ -119,6 +122,9 @@ class JobSpec:
                                            or self.coordinated is None):
             raise ValueError("multidomain jobs need budget_fraction "
                              "and coordinated")
+        if self.kind == "placement" and self.coordinated is None:
+            raise ValueError("placement jobs need the placed flag "
+                             "(carried in the coordinated field)")
 
     def to_job(self) -> object:
         """The runnable job dataclass this spec describes."""
@@ -126,6 +132,8 @@ class JobSpec:
             return SweepJob(self.mix, self.policy)
         if self.kind == "cap":
             return CapJob(self.mix, self.budget_fraction)
+        if self.kind == "placement":
+            return PlacementJob(self.mix, bool(self.coordinated))
         return MultiDomainJob(self.mix, self.budget_fraction,
                               self.coordinated)
 
@@ -193,6 +201,15 @@ def multidomain_specs(mixes: Sequence[str],
             for coordinated in legs]
 
 
+def placement_specs(mixes: Sequence[str],
+                    include_reference: bool = True) -> List[JobSpec]:
+    """Specs for a placement sweep, :func:`run_placement_sweep` order
+    (the ``coordinated`` field carries the placed flag)."""
+    legs = [True, False] if include_reference else [True]
+    return [JobSpec("placement", mix, coordinated=placed)
+            for mix in mixes for placed in legs]
+
+
 # -- ledger ----------------------------------------------------------------
 
 def _append_jsonl(path: Path, record: Dict[str, object]) -> None:
@@ -235,7 +252,8 @@ def read_ledger(path: Path) -> Tuple[List[Dict[str, object]], int]:
 
 #: Dispatch from spec kind to the parallel module's worker function.
 _JOB_FNS = {"policy": _run_job, "cap": _run_cap_job,
-            "multidomain": _run_multidomain_job}
+            "multidomain": _run_multidomain_job,
+            "placement": _run_placement_job}
 
 
 def _service_job(args: Tuple) -> object:

@@ -35,9 +35,9 @@ Record schema (``STORE_FORMAT`` 1)::
 
 ``outcome`` is kind-specific: the common core is the serialized
 :class:`~repro.sim.results.RunResult` plus its
-:class:`~repro.sim.results.PolicyComparison`; cap and multi-domain
-outcomes add their bookkeeping fields. :func:`outcome_to_dict` /
-:func:`outcome_from_dict` round-trip all three outcome dataclasses.
+:class:`~repro.sim.results.PolicyComparison`; cap, multi-domain, and
+placement outcomes add their bookkeeping fields. :func:`outcome_to_dict`
+/ :func:`outcome_from_dict` round-trip all four outcome dataclasses.
 """
 
 from __future__ import annotations
@@ -50,7 +50,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.sim.parallel import (CapOutcome, JobFailure, MultiDomainOutcome,
-                                SweepOutcome)
+                                PlacementOutcome, SweepOutcome)
 from repro.sim.serialize import (comparison_from_dict, comparison_to_dict,
                                  run_result_from_dict, run_result_to_dict)
 
@@ -115,6 +115,21 @@ def outcome_to_dict(outcome: object) -> Dict[str, object]:
             "cache_hits": outcome.cache_hits,
             "telemetry_path": outcome.telemetry_path,
         }
+    if isinstance(outcome, PlacementOutcome):
+        return {
+            "kind": "placement",
+            "mix": outcome.mix,
+            "placed": outcome.placed,
+            "governor": outcome.governor,
+            "result": run_result_to_dict(outcome.result),
+            "comparison": comparison_to_dict(outcome.comparison),
+            "min_perf": outcome.min_perf,
+            "avg_power_w": outcome.avg_power_w,
+            "placement": outcome.placement,
+            "wall_s": outcome.wall_s,
+            "cache_hits": outcome.cache_hits,
+            "telemetry_path": outcome.telemetry_path,
+        }
     raise TypeError(f"cannot serialize outcome {type(outcome).__name__}")
 
 
@@ -146,6 +161,13 @@ def outcome_from_dict(data: Dict[str, object]) -> object:
             core_energy_j=data["core_energy_j"],
             system_energy_j=data["system_energy_j"],
             summary=data["summary"], **common)
+    if kind == "placement":
+        return PlacementOutcome(
+            mix=data["mix"], placed=data["placed"],
+            governor=data["governor"], result=result,
+            comparison=comparison, min_perf=data["min_perf"],
+            avg_power_w=data["avg_power_w"],
+            placement=data["placement"], **common)
     raise ValueError(f"unknown outcome kind {kind!r}")
 
 

@@ -33,9 +33,11 @@ PathLike = Union[str, Path]
 #: fields (``budget_w``, ``predicted_power_w``, ``cap_feasible``,
 #: ``min_perf_norm``). v3: appends the nullable per-domain fields
 #: (``core_freq_mhz``, ``core_power_w``, ``domain_budget_split``)
-#: contributed by the multi-domain governor. v1/v2 files remain
-#: loadable.
-TELEMETRY_SCHEMA_VERSION = 3
+#: contributed by the multi-domain governor. v4: appends the nullable
+#: placement fields (``migrations_per_epoch``,
+#: ``rank_state_residency``) contributed by the placement governor.
+#: v1/v2/v3 files remain loadable.
+TELEMETRY_SCHEMA_VERSION = 4
 
 #: Field names of a v1 epoch record, in emission order.
 EPOCH_RECORD_FIELDS_V1 = (
@@ -52,12 +54,19 @@ EPOCH_RECORD_FIELDS_V2 = EPOCH_RECORD_FIELDS_V1 + (
     "budget_w", "predicted_power_w", "cap_feasible", "min_perf_norm",
 )
 
+#: Field names of a v3 epoch record: v2 plus the per-domain fields,
+#: null for every governor except
+#: :class:`~repro.cap.multidomain.MultiDomainGovernor`.
+EPOCH_RECORD_FIELDS_V3 = EPOCH_RECORD_FIELDS_V2 + (
+    "core_freq_mhz", "core_power_w", "domain_budget_split",
+)
+
 #: Field names of an epoch record, in emission order (the JSONL schema
 #: contract checked by tests and documented in EXPERIMENTS.md). The
-#: per-domain fields are null for every governor except
-#: :class:`~repro.cap.multidomain.MultiDomainGovernor`.
-EPOCH_RECORD_FIELDS = EPOCH_RECORD_FIELDS_V2 + (
-    "core_freq_mhz", "core_power_w", "domain_budget_split",
+#: placement fields are null for every governor except
+#: :class:`~repro.placement.governor.PlacementGovernor`.
+EPOCH_RECORD_FIELDS = EPOCH_RECORD_FIELDS_V3 + (
+    "migrations_per_epoch", "rank_state_residency",
 )
 
 
@@ -118,10 +127,11 @@ def epoch_record(workload: str, governor: str, epoch: int,
     :meth:`repro.core.governor.Governor.telemetry_snapshot`
     (``predicted_cpi``, ``slack_ns``, ``feasible_bus_mhz``,
     ``limited_by_slack``, the cap governor's ``budget_w``,
-    ``predicted_power_w``, ``cap_feasible``, ``min_perf_norm``, and the
+    ``predicted_power_w``, ``cap_feasible``, ``min_perf_norm``, the
     multi-domain governor's ``core_freq_mhz``, ``core_power_w``,
-    ``domain_budget_split``); governors without the matching model
-    leave them ``None``.
+    ``domain_budget_split``, and the placement governor's
+    ``migrations_per_epoch``, ``rank_state_residency``); governors
+    without the matching model leave them ``None``.
     """
     state = governor_state or {}
     return {
@@ -148,6 +158,8 @@ def epoch_record(workload: str, governor: str, epoch: int,
         "core_freq_mhz": state.get("core_freq_mhz"),
         "core_power_w": state.get("core_power_w"),
         "domain_budget_split": state.get("domain_budget_split"),
+        "migrations_per_epoch": state.get("migrations_per_epoch"),
+        "rank_state_residency": state.get("rank_state_residency"),
     }
 
 
@@ -156,14 +168,16 @@ def validate_epoch_record(record: Dict[str, object]) -> None:
 
     Used by tests and by consumers replaying telemetry files from
     other runs; checks field presence, types, and the schema version.
-    The current (v3) and both historical versions are accepted — v1
-    files lack the cap fields, v2 files lack the per-domain fields.
+    The current (v4) and every historical version are accepted — v1
+    files lack the cap fields, v2 files lack the per-domain fields,
+    v3 files lack the placement fields.
     """
     version = record.get("schema")
-    if version not in (1, 2, TELEMETRY_SCHEMA_VERSION):
+    if version not in (1, 2, 3, TELEMETRY_SCHEMA_VERSION):
         raise ValueError(f"unsupported telemetry schema {version!r}")
     required = {1: EPOCH_RECORD_FIELDS_V1,
-                2: EPOCH_RECORD_FIELDS_V2}.get(version,
+                2: EPOCH_RECORD_FIELDS_V2,
+                3: EPOCH_RECORD_FIELDS_V3}.get(version,
                                                EPOCH_RECORD_FIELDS)
     missing = [f for f in required if f not in record]
     if missing:
@@ -204,6 +218,16 @@ def validate_epoch_record(record: Dict[str, object]) -> None:
     if record["domain_budget_split"] is not None \
             and not isinstance(record["domain_budget_split"], dict):
         raise ValueError("field 'domain_budget_split' must be a dict "
+                         "or null")
+    if version == 3:
+        return
+    if record["migrations_per_epoch"] is not None \
+            and not isinstance(record["migrations_per_epoch"], int):
+        raise ValueError("field 'migrations_per_epoch' must be an int "
+                         "or null")
+    if record["rank_state_residency"] is not None \
+            and not isinstance(record["rank_state_residency"], dict):
+        raise ValueError("field 'rank_state_residency' must be a dict "
                          "or null")
 
 

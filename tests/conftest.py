@@ -13,7 +13,7 @@ import pytest
 from repro.config import NS_PER_US, SystemConfig, default_config, scaled_config
 from repro.core.frequency import FrequencyLadder
 from repro.memsim.controller import MemoryController
-from repro.memsim.counters import CounterDelta
+from repro.memsim.counters import _STATE_ORDER, CounterDelta
 from repro.memsim.engine import EventEngine
 from repro.sim.runner import ExperimentRunner, RunnerSettings
 
@@ -76,7 +76,7 @@ def make_delta(config: SystemConfig, *, interval_ns: float = 10_000.0,
     pre_stby_frac = 1.0 - act_frac - pre_pd_frac
     if pre_stby_frac < 0:
         raise ValueError("state fractions exceed 1.0")
-    rank_state = np.zeros((n_ranks, 4))
+    rank_state = np.zeros((n_ranks, len(_STATE_ORDER)))
     rank_state[:, 0] = act_frac * interval_ns        # active standby
     rank_state[:, 1] = pre_stby_frac * interval_ns   # precharge standby
     rank_state[:, 3] = pre_pd_frac * interval_ns     # precharge powerdown

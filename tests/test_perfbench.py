@@ -179,7 +179,10 @@ def test_gate_report_shows_both_sides(tmp_path, capsys):
     out = tmp_path / "b.json"
     run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
     base = json.loads(out.read_text())["baseline"]["smoke"]["events_per_sec"]
-    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE)
+    # gate=False: the report under test is printed either way, but a
+    # loaded machine can dip a single-repeat measurement through the
+    # floor and the raise would pre-empt the formatting assertions.
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, gate=False)
     printed = capsys.readouterr().out
     # Both the current and the baseline events/sec, not just a ratio.
     assert f"baseline {base:.0f} events/sec" in printed

@@ -15,12 +15,13 @@ from pathlib import Path
 import pytest
 
 from repro.config import scaled_config
-from repro.sim.parallel import JobFailure, run_sweep, split_outcomes
+from repro.sim.parallel import (JobFailure, run_placement_sweep, run_sweep,
+                                split_outcomes)
 from repro.sim.runner import RunnerSettings
 from repro.sim.serialize import run_result_to_dict
 from repro.sim.service import (LEDGER_NAME, JobSpec, ServiceError,
                                SweepService, cap_specs, multidomain_specs,
-                               policy_specs, read_ledger)
+                               placement_specs, policy_specs, read_ledger)
 from repro.sim.store import deterministic_digest
 
 SETTINGS = RunnerSettings(cores=4, instructions_per_core=4_000, seed=7)
@@ -305,3 +306,92 @@ class TestServiceKinds:
         assert not bad and len(good) == 1
         assert good[0].coordinated is True
         assert svc.store.query(kind="multidomain", status="ok")
+
+    def test_placement_jobs_run_through_the_service(self, tmp_path):
+        svc = make_service(tmp_path / "s")
+        out = svc.run(placement_specs(["MID1"]))
+        good, bad = split_outcomes(out)
+        assert not bad and len(good) == 2
+        placed, reference = good
+        assert placed.placed is True and reference.placed is False
+        assert placed.placement is not None
+        assert placed.placement["pages_allocated"] > 0
+        assert reference.placement is None
+        assert svc.store.query(kind="placement", status="ok")
+        assert [s.label for s in placement_specs(["MID1"])] \
+            == ["MID1/Placed", "MID1/NoPlacement"]
+        assert [s.label
+                for s in placement_specs(["MID1"],
+                                         include_reference=False)] \
+            == ["MID1/Placed"]
+
+
+class TestPlacementDifferential:
+    """The placement acceptance differential: the same placement specs
+    run serially, with worker fan-out, and through a SIGKILLed-then-
+    resumed service must land byte-identical store records."""
+
+    def test_serial_vs_parallel_store_digests_match(self, tmp_path):
+        specs = placement_specs(["MID1", "MID2"])
+        serial = make_service(tmp_path / "serial", jobs=1)
+        serial.run(specs)
+        fanned = make_service(tmp_path / "fanned", jobs=4)
+        fanned.run(specs)
+        a = {r["key"]: deterministic_digest(r)
+             for r in serial.store.records()}
+        b = {r["key"]: deterministic_digest(r)
+             for r in fanned.store.records()}
+        assert a == b and len(a) == 4
+
+    def test_sigkill_mid_sweep_then_resume(self, tmp_path):
+        directory = tmp_path / "svc"
+        mixes = ["MID1", "MID2", "MID3", "MID4"]
+        argv = [sys.executable, "-m", "repro", "service", "run",
+                "--dir", str(directory), "--kind", "placement",
+                "--mixes", *mixes, "--jobs", "1", "--retries", "0",
+                "--instructions", "60000", "--cores", "4", "--seed", "7"]
+        env = dict(os.environ,
+                   PYTHONPATH=str(Path(__file__).resolve().parents[1]
+                                  / "src"))
+        proc = subprocess.Popen(argv, env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        store_glob = directory / "store"
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break  # finished before we could kill it
+                if list(store_glob.glob("*/*.json")):
+                    break  # at least one job landed: kill mid-sweep
+                time.sleep(0.001)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+
+        survivors = list(store_glob.glob("*/*.json"))
+        assert survivors, "completed outcomes must survive the kill"
+        assert len(survivors) < 2 * len(mixes), \
+            "the kill must land mid-sweep, not after it finished"
+
+        resumed_svc = SweepService.open(directory)
+        resumed = resumed_svc.resume()
+        good, bad = split_outcomes(resumed)
+        assert not bad and len(good) == 2 * len(mixes)
+
+        settings = RunnerSettings(cores=4, instructions_per_core=60_000,
+                                  seed=7)
+        reference = run_placement_sweep(mixes, settings=settings, jobs=1,
+                                        cache_dir=None)
+        for mine, ref in zip(good, reference):
+            assert (mine.mix, mine.placed) == (ref.mix, ref.placed)
+            assert result_bytes(mine.result) == result_bytes(ref.result)
+
+        # digest-level: the resumed store matches an uninterrupted one
+        uninterrupted = make_service(tmp_path / "b", settings=settings)
+        uninterrupted.run(placement_specs(mixes))
+        a = {r["key"]: deterministic_digest(r)
+             for r in resumed_svc.store.records()}
+        b = {r["key"]: deterministic_digest(r)
+             for r in uninterrupted.store.records()}
+        assert a == b and len(a) == 2 * len(mixes)

@@ -393,6 +393,148 @@ class TestPowerdownConstraints:
         assert v.violation_count == 0
 
 
+def park(v, rank=0, t=100.0):
+    """Drive a legal self-refresh entry (hook order matches rank.py)."""
+    v.on_sr_enter(rank, t)
+    v.on_rank_state(rank, RankPowerState.PRECHARGE_STANDBY,
+                    RankPowerState.SELF_REFRESH, t, any_bank_busy=False)
+
+
+def unpark(v, rank=0, t=500.0, entered=100.0, for_access=False):
+    """Drive a legal exit: ``on_sr_exit`` fires *before* the rank-state
+    change (the transition clears the validator's in-SR flag)."""
+    ready = max(t, entered + T.t_ckesr_ns) + T.t_xs_ns
+    v.on_sr_exit(rank, t, ready, for_access)
+    v.on_rank_state(rank, RankPowerState.SELF_REFRESH,
+                    RankPowerState.PRECHARGE_STANDBY, t,
+                    any_bank_busy=False)
+    return ready
+
+
+class TestSelfRefreshConstraints:
+    """Each illegal sequence is mutation-style: deleting the rule from
+    the validator makes the matching test fail."""
+
+    def test_activate_while_parked_detected(self):
+        v = make_validator()
+        park(v)
+        service(v, 200.0, rank=0)
+        assert "sr-activate" in rules(v)
+
+    def test_service_inside_exit_window_detected(self):
+        v = make_validator()
+        park(v, t=100.0)
+        ready = unpark(v, t=500.0, entered=100.0)
+        service(v, ready - 10.0, rank=0)
+        assert "sr-exit" in rules(v)
+
+    def test_service_after_exit_window_is_legal(self):
+        v = make_validator()
+        park(v, t=100.0)
+        ready = unpark(v, t=500.0, entered=100.0)
+        service(v, ready, rank=0)
+        assert v.violation_count == 0
+
+    def test_refresh_timer_tick_while_parked_detected(self):
+        v = make_validator()
+        park(v)
+        v.on_refresh_due(0, 200.0)
+        assert "sr-refresh" in rules(v)
+
+    def test_external_refresh_issue_while_parked_detected(self):
+        v = make_validator()
+        park(v)
+        v.on_refresh_issue(0, 200.0, 200.0 + T.t_rfc_ns, False)
+        assert "sr-refresh" in rules(v)
+
+    def test_short_exit_window_detected(self):
+        v = make_validator()
+        park(v, t=100.0)
+        # ready before the tCKESR residual plus tXS elapse
+        v.on_sr_exit(0, 500.0, 500.0 + T.t_xs_ns - 1.0, False)
+        assert "sr-exit" in rules(v)
+
+    def test_exit_must_cover_residual_tckesr(self):
+        v = make_validator()
+        park(v, t=100.0)
+        # exit immediately: the unexpired tCKESR residency extends the
+        # window beyond a bare tXS
+        v.on_sr_exit(0, 100.0, 100.0 + T.t_xs_ns, False)
+        assert "sr-exit" in rules(v)
+
+    def test_exit_without_entry_detected(self):
+        v = make_validator()
+        v.on_sr_exit(0, 500.0, 500.0 + T.t_xs_ns, False)
+        assert "sr-exit" in rules(v)
+
+    def test_double_entry_detected(self):
+        v = make_validator()
+        park(v)
+        v.on_sr_enter(0, 300.0)
+        assert "sr-entry" in rules(v)
+
+    def test_entry_with_open_row_detected(self):
+        v = make_validator()
+        service(v, 0.0, rank=0, bank=2, row=5)  # opens row 5
+        v.on_sr_enter(0, 100.0)
+        assert "sr-entry" in rules(v)
+
+    def test_entry_with_pending_refresh_detected(self):
+        v = make_validator()
+        v.on_refresh_due(0, 50.0)  # pending: due but never issued
+        v.on_sr_enter(0, 100.0)
+        assert "sr-entry" in rules(v)
+
+    def test_entry_inside_refresh_window_detected(self):
+        v = make_validator()
+        v.on_refresh_due(0, 50.0)
+        v.on_refresh_issue(0, 50.0, 50.0 + T.t_rfc_ns, False)
+        v.on_sr_enter(0, 50.0 + T.t_rfc_ns / 2.0)
+        assert "sr-entry" in rules(v)
+
+    def test_legal_policy_park_cycle_balances(self):
+        v = make_validator()
+        park(v, t=100.0)
+        unpark(v, t=500.0, entered=100.0, for_access=False)
+        v.finalize()
+        assert v.violation_count == 0
+
+    def test_legal_demand_wake_balances(self):
+        v = make_validator()
+        park(v, t=100.0)
+        v.on_powerdown_exit(0, 500.0)  # EPDC recorded on the access path
+        unpark(v, t=500.0, entered=100.0, for_access=True)
+        v.finalize()
+        assert v.violation_count == 0
+
+    def test_unpark_without_exit_category_detected(self):
+        v = make_validator()
+        park(v, t=100.0)
+        # CKE comes back up without on_sr_exit (no EPDC, no policy
+        # unpark): the exit-accounting conservation must flag it
+        v.on_rank_state(0, RankPowerState.SELF_REFRESH,
+                        RankPowerState.PRECHARGE_STANDBY, 500.0,
+                        any_bank_busy=False)
+        v.finalize()
+        assert "powerdown-exit-epdc" in rules(v)
+
+    def test_refresh_cadence_restarts_at_exit(self):
+        v = make_validator()
+        v.on_refresh_due(0, 0.5 * T_REFI)
+        v.on_refresh_issue(0, 0.5 * T_REFI, 0.5 * T_REFI + T.t_rfc_ns,
+                           False)
+        park(v, t=T_REFI)
+        # parked across many tREFI: the device refreshed itself, so the
+        # first external tick after the exit is *not* a cadence gap
+        exit_t = 20.0 * T_REFI
+        unpark(v, t=exit_t, entered=T_REFI)
+        v.on_refresh_due(0, exit_t + T_REFI)
+        v.on_refresh_issue(0, exit_t + T_REFI,
+                           exit_t + T_REFI + T.t_rfc_ns, False)
+        v.finalize()
+        assert v.violation_count == 0
+
+
 class TestConservation:
     def test_wb_capacity_overflow_detected(self):
         v = make_validator()
