@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test bench-smoke bench bench-perf bench-perf-smoke sweep \
 	validate cache-stats clean-cache docs-links multidomain-smoke \
-	service-smoke placement-smoke
+	service-smoke placement-smoke scenarios-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,6 +59,15 @@ placement-smoke:
 # store in .repro_service_smoke/ for inspection (`repro query --dir`).
 service-smoke:
 	$(PYTHON) -m repro service smoke
+
+# Scenario-subsystem acceptance run, validator-armed end to end: the
+# bundled k6 trace must import and replay byte-identically (serial,
+# parallel, fast-forward off), every MPKI-ladder rung runs clean under
+# MemScale, and on each device table MemScale must beat Static within
+# the CPI bound while STT-MRAM shows its standby-power shift. Leaves
+# summary.json + the smoke cache in .repro_scenarios_smoke/.
+scenarios-smoke:
+	$(PYTHON) -m repro scenarios --smoke --jobs 2
 
 # Fail on dangling intra-repo references in README/docs/EXPERIMENTS/
 # DESIGN (markdown links and backtick-quoted paths).

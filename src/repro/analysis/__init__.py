@@ -3,6 +3,7 @@
 from repro.analysis.tables import (
     bar,
     cap_summary_table,
+    device_energy_table,
     format_bar_chart,
     format_series,
     format_table,
@@ -14,6 +15,7 @@ from repro.analysis.tables import (
 __all__ = [
     "bar",
     "cap_summary_table",
+    "device_energy_table",
     "format_bar_chart",
     "format_series",
     "format_table",

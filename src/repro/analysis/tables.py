@@ -175,3 +175,44 @@ def multidomain_summary_table(rows: Sequence[Dict[str, object]],
         ["workload", "governor", "budget", "cap W", "avg W", "core W",
          "core MHz", "viol", "infeas", "min perf", "sys J"],
         table_rows, title=title)
+
+
+def device_energy_table(rows: Sequence[Dict[str, object]],
+                        title: Optional[str] =
+                        "device technology sweep") -> str:
+    """Summary table of a scenario sweep (one row per (mix, policy,
+    device) point).
+
+    ``rows`` are the scenario sweep's row dicts: ``workload``,
+    ``policy``, ``device``, ``memory_energy_j``, ``background_share``
+    (standby energy as a fraction of DIMM energy — the column that
+    makes the STT-MRAM-style standby shift visible), ``mem_savings``
+    (vs the per-device baseline), and ``worst_cpi_increase``. Missing
+    comparison columns render as ``-``.
+    """
+    if not rows:
+        raise ValueError("no scenario results to format")
+
+    def num(row, key, fmt):
+        value = row.get(key)
+        return "-" if value is None else fmt.format(value)
+
+    def pct(row, key):
+        value = row.get(key)
+        return "-" if value is None else percent(float(value))
+
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row["workload"],
+            row["policy"],
+            row["device"],
+            num(row, "memory_energy_j", "{:.4f}"),
+            num(row, "background_share", "{:.1%}"),
+            pct(row, "mem_savings"),
+            pct(row, "worst_cpi_increase"),
+        ])
+    return format_table(
+        ["workload", "policy", "device", "mem J", "standby",
+         "mem savings", "worst CPI"],
+        table_rows, title=title)

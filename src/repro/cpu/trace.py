@@ -186,8 +186,28 @@ class WorkloadTrace:
     def load_columnar(cls, path: "Path | str",
                       mmap: bool = True) -> "WorkloadTrace":
         """Load a columnar trace; with ``mmap`` (the default) the core
-        arrays are read-only views of a shared memory map."""
-        meta = json.loads(columnar_sidecar_path(path).read_text())
+        arrays are read-only views of a shared memory map.
+
+        A columnar entry is a *pair*; losing either half makes the
+        other unreadable, so a missing half raises an error naming
+        which file is gone and how to clean up, not a bare
+        ``FileNotFoundError`` from deep inside ``np.load``.
+        """
+        data_path = Path(str(path))
+        sidecar_path = columnar_sidecar_path(path)
+        missing = []
+        if not data_path.exists():
+            missing.append(f"data file {data_path}")
+        if not sidecar_path.exists():
+            missing.append(f"sidecar {sidecar_path}")
+        if missing:
+            raise FileNotFoundError(
+                f"columnar trace {data_path} is incomplete: missing "
+                + " and ".join(missing)
+                + "; the surviving half cannot be loaded alone — remove "
+                "the orphan (for cache entries: `repro cache --prune`) "
+                "and regenerate or re-import the trace")
+        meta = json.loads(sidecar_path.read_text())
         if meta.get("version") != COLUMNAR_TRACE_VERSION:
             raise ValueError(
                 f"unsupported columnar trace version: {meta.get('version')}")

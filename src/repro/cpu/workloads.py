@@ -89,6 +89,23 @@ def _profiles() -> Dict[str, AppProfile]:
 
 APP_PROFILES: Dict[str, AppProfile] = _profiles()
 
+#: The built-in Table 1 application names; :func:`register_app_profile`
+#: refuses to shadow them.
+_BUILTIN_PROFILE_NAMES = frozenset(APP_PROFILES)
+
+
+def register_app_profile(profile: AppProfile) -> None:
+    """Add a non-Table-1 application profile (e.g. a fitted trace).
+
+    Shadowing a built-in Table 1 profile is refused — the paper's mixes
+    are calibrated against those exact numbers. Re-registering the same
+    name replaces the previous extra profile.
+    """
+    if profile.name in _BUILTIN_PROFILE_NAMES:
+        raise ValueError(
+            f"cannot shadow built-in app profile {profile.name!r}")
+    APP_PROFILES[profile.name] = profile
+
 
 @dataclass(frozen=True)
 class MixSpec:
@@ -120,6 +137,57 @@ MIXES: Dict[str, MixSpec] = {
 }
 
 
+#: Mixes registered beyond Table 1 — the scenario ladder, fitted
+#: traces, anything user code adds through :func:`register_mix`.
+EXTRA_MIXES: Dict[str, MixSpec] = {}
+
+
+def register_mix(spec: MixSpec) -> None:
+    """Register a non-Table-1 mix so every mix-name consumer finds it.
+
+    Shadowing a Table 1 name is refused (those targets are the paper's
+    contract), as is re-registering an extra name with a *different*
+    spec; registering the identical spec again is a no-op, so repeated
+    imports of a registering module stay safe.
+    """
+    if spec.name in MIXES:
+        raise ValueError(f"cannot shadow built-in mix {spec.name!r}")
+    existing = EXTRA_MIXES.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ValueError(
+            f"mix {spec.name!r} already registered with a different spec")
+    EXTRA_MIXES[spec.name] = spec
+
+
+def _load_scenarios() -> None:
+    """Import the scenario library for its registration side effect.
+
+    Lazy so that :mod:`repro.cpu.workloads` stays import-cycle-free
+    (the scenario library imports *this* module); sweep workers in
+    spawned processes resolve ladder names through this hook without
+    any explicit import on their side.
+    """
+    from repro import scenarios  # noqa: F401  (registers the ladder)
+
+
+def lookup_mix(mix_name: str) -> MixSpec:
+    """The named mix — Table 1 first, then registered extras."""
+    if mix_name in MIXES:
+        return MIXES[mix_name]
+    if mix_name not in EXTRA_MIXES:
+        _load_scenarios()
+    if mix_name in EXTRA_MIXES:
+        return EXTRA_MIXES[mix_name]
+    raise KeyError(f"unknown mix {mix_name!r}; "
+                   f"available: {known_mix_names()}")
+
+
+def known_mix_names() -> List[str]:
+    """Every resolvable mix name: Table 1 plus registered extras."""
+    _load_scenarios()
+    return list(MIXES) + sorted(EXTRA_MIXES)
+
+
 def mix_names(category: Optional[str] = None) -> List[str]:
     """All mix names, optionally restricted to one category."""
     if category is None:
@@ -135,18 +203,19 @@ class TraceGenerator:
 
     def generate_mix(self, mix_name: str, cores: int = 16,
                      instructions_per_core: int = 200_000) -> WorkloadTrace:
-        """Generate the named Table 1 mix for ``cores`` cores.
+        """Generate the named mix (Table 1 or registered) for ``cores``.
 
-        Each of the mix's four applications is replicated ``cores // 4``
-        times (Table 1 uses x4 on 16 cores). The mix's aggregate RPKI and
-        WPKI are calibrated to the Table 1 targets.
+        Each of the mix's applications is replicated ``cores // k``
+        times, where ``k`` is the app count (Table 1 uses 4 apps x4 on
+        16 cores). The mix's aggregate RPKI and WPKI are calibrated to
+        the spec's targets.
         """
-        if mix_name not in MIXES:
-            raise KeyError(f"unknown mix {mix_name!r}; available: {list(MIXES)}")
-        if cores % 4 != 0:
-            raise ValueError(f"core count must be a multiple of 4, got {cores}")
-        mix = MIXES[mix_name]
-        replicas = cores // 4
+        mix = lookup_mix(mix_name)
+        k = len(mix.apps)
+        if cores % k != 0:
+            raise ValueError(
+                f"core count must be a multiple of {k}, got {cores}")
+        replicas = cores // k
         profiles = [APP_PROFILES[a] for a in mix.apps]
         rpki_scale = mix.target_rpki / float(np.mean([p.rpki for p in profiles]))
         eff_rpki = {p.name: p.rpki * rpki_scale for p in profiles}

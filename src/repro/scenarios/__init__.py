@@ -1,0 +1,92 @@
+"""Scenario subsystem: real traces, an MPKI ladder, device tables.
+
+Three pillars turn the harness from a synthetic-only reproduction into
+a workload platform:
+
+* :mod:`repro.scenarios.ingest` — streaming parsers for the DRAMSim2
+  k6 format and generic CSV, converting external traces into the
+  native columnar trace store with address re-interleaving onto the
+  configured geometry;
+* :mod:`repro.scenarios.library` — the MPKI-laddered ``mix1``..``mix7``
+  registry (high-MPKI streaming down to ILP-bound), registered with
+  the workload layer on import so the rungs plug into ``generate_mix``,
+  ``run_sweep``, the service queue, and the CLI like Table 1 mixes;
+* :mod:`repro.scenarios.devices` — named, validated timing/power
+  presets (DDR3-1333 baseline, DDR3L low-voltage, STT-MRAM-like) so
+  sweeps span (mix x policy x device).
+
+Importing this package registers the ladder as a side effect; the
+workload layer's :func:`repro.cpu.workloads.lookup_mix` does that
+import lazily on the first unknown mix name, so sweep workers in
+spawned processes resolve ladder rungs without any explicit import.
+"""
+
+from repro.scenarios.devices import (
+    DEFAULT_DEVICE,
+    DEVICE_TABLES,
+    DeviceTable,
+    apply_device,
+    device_listing,
+    device_names,
+    lookup_device,
+)
+from repro.scenarios.fit import (
+    TraceFit,
+    WindowProfile,
+    fit_trace,
+    row_hit_flags,
+    seed_mix_from_fit,
+)
+from repro.scenarios.ingest import (
+    READ_COMMANDS,
+    TRACE_FORMATS,
+    WRITE_COMMANDS,
+    ImportSummary,
+    TraceFormatError,
+    detect_format,
+    import_trace,
+    iter_csv,
+    iter_k6,
+    read_records,
+    reinterleave,
+)
+from repro.scenarios.library import (
+    SCENARIO_CATEGORY,
+    SCENARIO_LADDER,
+    SCENARIO_MIXES,
+    ScenarioSpec,
+    scenario_listing,
+    scenario_names,
+)
+
+__all__ = [
+    "DEFAULT_DEVICE",
+    "DEVICE_TABLES",
+    "DeviceTable",
+    "ImportSummary",
+    "READ_COMMANDS",
+    "SCENARIO_CATEGORY",
+    "SCENARIO_LADDER",
+    "SCENARIO_MIXES",
+    "ScenarioSpec",
+    "TraceFit",
+    "TraceFormatError",
+    "TRACE_FORMATS",
+    "WindowProfile",
+    "WRITE_COMMANDS",
+    "apply_device",
+    "detect_format",
+    "device_listing",
+    "device_names",
+    "fit_trace",
+    "import_trace",
+    "iter_csv",
+    "iter_k6",
+    "lookup_device",
+    "read_records",
+    "reinterleave",
+    "row_hit_flags",
+    "scenario_listing",
+    "scenario_names",
+    "seed_mix_from_fit",
+]

@@ -1,0 +1,228 @@
+"""Trace -> phase fitter.
+
+An ingested trace can be replayed verbatim, but replay pins the run to
+the trace's exact length and core count. The fitter extracts the
+*statistics* the synthetic generator needs — per-window MPKI, read
+ratio, row-buffer locality, burstiness, footprint, phase structure — so
+an external trace can also seed a synthetic
+:class:`~repro.cpu.workloads.AppProfile` (with a fitted
+:class:`~repro.cpu.phases.PhaseSchedule`) and scale to any core count
+or instruction budget, the same way Table 1 profiles do.
+
+All estimates are documented proxies of the 1-instruction-per-cycle
+ingestion model (see :mod:`repro.scenarios.ingest`): windows are
+equal-*instruction* slices of the concatenated per-core record stream,
+and the row-hit estimate counts back-to-back same-row accesses per
+bank, i.e. an upper bound a closed-page controller will not reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import MemoryOrgConfig
+from repro.cpu.phases import Phase, PhaseSchedule
+from repro.cpu.trace import WorkloadTrace
+from repro.cpu.workloads import AppProfile
+
+#: Adjacent fit windows whose intensities differ by less than this
+#: relative tolerance merge into one phase.
+MERGE_TOLERANCE = 0.125
+
+#: burst_shape (gamma shape of inter-miss gaps) is clamped to the range
+#: the Table 1 profiles span.
+MIN_BURST_SHAPE = 0.2
+MAX_BURST_SHAPE = 5.0
+
+
+@dataclass(frozen=True)
+class WindowProfile:
+    """Statistics of one equal-instruction window of the trace."""
+
+    instructions: int
+    reads: int
+    writebacks: int
+    rpki: float
+    read_ratio: float     #: reads / (reads + writebacks)
+    row_hit_ratio: float  #: back-to-back same-row fraction per bank
+
+
+@dataclass(frozen=True)
+class TraceFit:
+    """The fitted statistical profile of an ingested trace."""
+
+    name: str
+    windows: Tuple[WindowProfile, ...]
+    instructions: int
+    rpki: float
+    wpki: float
+    read_ratio: float
+    row_hit_ratio: float
+    stream_fraction: float   #: successive-line (delta == 1) read fraction
+    burst_shape: float
+    working_set_lines: int
+    phases: PhaseSchedule
+
+    def to_profile(self, name: "str | None" = None) -> AppProfile:
+        """An :class:`AppProfile` reproducing the fitted statistics."""
+        rpki = max(self.rpki, 1e-6)
+        return AppProfile(
+            name=name or self.name,
+            rpki=rpki,
+            wb_ratio=(self.wpki / rpki) if rpki else 0.0,
+            burst_shape=self.burst_shape,
+            stream_prob=self.stream_fraction,
+            working_set_lines=self.working_set_lines,
+            phases=self.phases,
+        )
+
+
+def row_hit_flags(lines: np.ndarray, org: MemoryOrgConfig) -> np.ndarray:
+    """Per-access booleans: does this access hit the row its bank has
+    open from the *previous* access to that bank?
+
+    Vectorized: decode every line address (same divmod order as
+    :class:`~repro.memsim.address.AddressMapper`), group by bank with a
+    stable sort (which preserves program order within each bank), and
+    compare neighbours.
+    """
+    if len(lines) == 0:
+        return np.zeros(0, dtype=bool)
+    addr, channel = np.divmod(lines, org.channels)
+    addr, bank = np.divmod(addr, org.banks_per_rank)
+    addr, rank = np.divmod(addr, org.ranks_per_channel)
+    row = (addr // org.lines_per_row) % org.rows_per_bank
+    bank_key = (channel * org.ranks_per_channel + rank) \
+        * org.banks_per_rank + bank
+    order = np.argsort(bank_key, kind="stable")
+    same_bank = bank_key[order][1:] == bank_key[order][:-1]
+    same_row = row[order][1:] == row[order][:-1]
+    hits_sorted = np.concatenate(([False], same_bank & same_row))
+    flags = np.zeros(len(lines), dtype=bool)
+    flags[order] = hits_sorted
+    return flags
+
+
+def _merge_windows(fractions: List[float],
+                   intensities: List[float]) -> List[Phase]:
+    """Collapse adjacent windows with near-equal intensity into phases."""
+    phases: List[Tuple[float, float]] = []
+    for frac, intensity in zip(fractions, intensities):
+        if phases:
+            prev_frac, prev_int = phases[-1]
+            scale = max(abs(prev_int), abs(intensity), 1e-9)
+            if abs(intensity - prev_int) / scale <= MERGE_TOLERANCE:
+                total = prev_frac + frac
+                merged = (prev_frac * prev_int + frac * intensity) / total
+                phases[-1] = (total, merged)
+                continue
+        phases.append((frac, intensity))
+    # Force exact unit sum (PhaseSchedule checks to 1e-9).
+    total = sum(f for f, _ in phases)
+    phases = [(f / total, i) for f, i in phases]
+    drift = 1.0 - sum(f for f, _ in phases)
+    phases[-1] = (phases[-1][0] + drift, phases[-1][1])
+    return [Phase(f, max(i, 1e-3)) for f, i in phases]
+
+
+def fit_trace(trace: WorkloadTrace, org: MemoryOrgConfig,
+              windows: int = 8) -> TraceFit:
+    """Fit the statistical profile of ``trace``.
+
+    The per-core record streams are concatenated in core order; windows
+    are equal-instruction slices of that stream. For a trace ingested
+    round-robin this interleaves fairly; for a synthetic multi-app mix
+    the fit describes the aggregate, not any single app.
+    """
+    if windows <= 0:
+        raise ValueError(f"window count must be positive, got {windows}")
+    gaps = np.concatenate([c.gaps for c in trace.cores]) \
+        if trace.cores else np.zeros(0, np.int64)
+    reads = np.concatenate([c.read_addrs for c in trace.cores]) \
+        if trace.cores else np.zeros(0, np.int64)
+    wbs = np.concatenate([c.wb_addrs for c in trace.cores]) \
+        if trace.cores else np.zeros(0, np.int64)
+    if len(reads) == 0:
+        raise ValueError(f"trace {trace.name!r} has no reads to fit")
+    total_instr = int(gaps.sum())
+    if total_instr <= 0:
+        raise ValueError(f"trace {trace.name!r} commits no instructions")
+
+    cum = np.cumsum(gaps)
+    edges = np.linspace(0, total_instr, windows + 1)[1:]
+    window_of = np.searchsorted(edges, cum, side="left")
+    window_of = np.minimum(window_of, windows - 1)
+    hit_flags = row_hit_flags(reads, org)
+
+    profiles: List[WindowProfile] = []
+    fractions: List[float] = []
+    intensities: List[float] = []
+    bounds = np.concatenate(([0.0], edges))
+    overall_rpki = 1000.0 * len(reads) / total_instr
+    for w in range(windows):
+        mask = window_of == w
+        instr = int(round(bounds[w + 1] - bounds[w]))
+        n_reads = int(mask.sum())
+        n_wbs = int((wbs[mask] >= 0).sum())
+        rpki = 1000.0 * n_reads / instr if instr else 0.0
+        accesses = n_reads + n_wbs
+        hits = int(hit_flags[mask].sum())
+        profiles.append(WindowProfile(
+            instructions=instr, reads=n_reads, writebacks=n_wbs,
+            rpki=rpki,
+            read_ratio=n_reads / accesses if accesses else 1.0,
+            row_hit_ratio=hits / n_reads if n_reads else 0.0))
+        if instr > 0:
+            fractions.append(instr / total_instr)
+            intensities.append(rpki / overall_rpki if overall_rpki else 0.0)
+
+    n_wbs_total = int((wbs >= 0).sum())
+    deltas = np.diff(reads)
+    stream = float((deltas == 1).mean()) if len(deltas) else 0.0
+    mean_gap = float(gaps.mean())
+    var_gap = float(gaps.var())
+    if var_gap > 0 and mean_gap > 0:
+        shape = mean_gap * mean_gap / var_gap
+    else:
+        shape = MAX_BURST_SHAPE
+    shape = min(max(shape, MIN_BURST_SHAPE), MAX_BURST_SHAPE)
+    distinct = int(np.unique(reads).size)
+    working_set = 1 << max(10, int(np.ceil(np.log2(max(distinct, 1)))))
+    accesses = len(reads) + n_wbs_total
+
+    return TraceFit(
+        name=trace.name,
+        windows=tuple(profiles),
+        instructions=total_instr,
+        rpki=overall_rpki,
+        wpki=1000.0 * n_wbs_total / total_instr,
+        read_ratio=len(reads) / accesses if accesses else 1.0,
+        row_hit_ratio=float(hit_flags.mean()),
+        stream_fraction=stream,
+        burst_shape=shape,
+        working_set_lines=working_set,
+        phases=PhaseSchedule(_merge_windows(fractions, intensities)),
+    )
+
+
+def seed_mix_from_fit(fit: TraceFit, mix_name: str):
+    """Register a synthetic single-app mix reproducing ``fit``.
+
+    Registers the fitted :class:`AppProfile` under ``mix_name`` and a
+    one-app :class:`~repro.cpu.workloads.MixSpec` of the same name
+    calibrated to the fitted RPKI/WPKI, so ``generate_mix(mix_name)``
+    synthesizes phase-faithful traffic at any core count or length.
+    Returns the registered mix spec.
+    """
+    from repro.cpu.workloads import MixSpec, register_app_profile, \
+        register_mix
+    profile = fit.to_profile(mix_name)
+    register_app_profile(profile)
+    spec = MixSpec(name=mix_name, category="FIT", apps=(profile.name,),
+                   target_rpki=max(fit.rpki, 1e-6),
+                   target_wpki=fit.wpki)
+    register_mix(spec)
+    return spec

@@ -1,0 +1,95 @@
+"""The MPKI-laddered scenario library (mix1..mix7).
+
+Table 1 gives twelve category-grouped mixes; what a sensitivity study
+actually wants is a *ladder* — a single ordered axis from high-MPKI
+streaming traffic down to ILP-bound compute, so "where does the policy
+stop winning" is one sweep, not a scavenger hunt across categories.
+This module registers seven rungs modeled on the Kill-Llama
+SPEC2017/GAP/STREAM ladder, composed from the existing Table 1
+application profiles and calibrated (like every Table 1 mix) to an
+explicit aggregate RPKI/WPKI target per rung.
+
+Importing this module (or the :mod:`repro.scenarios` package) registers
+every rung with :func:`repro.cpu.workloads.register_mix`, after which
+the rungs behave exactly like Table 1 mixes everywhere a mix name is
+accepted: ``generate_mix``, ``run_sweep``, the service queue, the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cpu.workloads import MixSpec, register_mix
+
+#: Category tag carried by every ladder rung's MixSpec.
+SCENARIO_CATEGORY = "SCN"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One rung of the MPKI ladder."""
+
+    name: str
+    rung: int                #: 1 = most memory-intensive
+    description: str
+    apps: Tuple[str, ...]    #: application profiles composed per core group
+    target_rpki: float       #: calibrated aggregate reads/kilo-instruction
+    target_wpki: float       #: calibrated aggregate writebacks/kilo-instr.
+
+    def mix_spec(self) -> MixSpec:
+        """The workload-layer registration record for this rung."""
+        return MixSpec(name=self.name, category=SCENARIO_CATEGORY,
+                       apps=self.apps, target_rpki=self.target_rpki,
+                       target_wpki=self.target_wpki)
+
+
+#: The ladder, strictly descending in aggregate RPKI.
+SCENARIO_LADDER: Tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        "mix1", 1, "streaming, saturating (STREAM-like)",
+        ("swim", "applu", "swim", "applu"), 20.00, 4.70),
+    ScenarioSpec(
+        "mix2", 2, "memory-bound, mixed access patterns",
+        ("art", "lucas", "galgel", "equake"), 12.60, 2.20),
+    ScenarioSpec(
+        "mix3", 3, "memory-leaning, moderate bandwidth",
+        ("fma3d", "mgrid", "equake", "lucas"), 8.60, 1.10),
+    ScenarioSpec(
+        "mix4", 4, "balanced, cache-hostile (GAP-like)",
+        ("astar", "twolf", "facerec", "apsi"), 3.10, 0.15),
+    ScenarioSpec(
+        "mix5", 5, "balanced, cache-friendly",
+        ("ammp", "gap", "wupwise", "vpr"), 1.70, 0.04),
+    ScenarioSpec(
+        "mix6", 6, "compute-bound with residual traffic",
+        ("vortex", "gcc", "sixtrack", "mesa"), 0.37, 0.06),
+    ScenarioSpec(
+        "mix7", 7, "ILP-bound, near-silent memory",
+        ("perlbmk", "crafty", "gzip", "eon"), 0.16, 0.01),
+)
+
+#: Name -> rung spec, in ladder order.
+SCENARIO_MIXES: Dict[str, ScenarioSpec] = {
+    s.name: s for s in SCENARIO_LADDER
+}
+
+for _spec in SCENARIO_LADDER:
+    register_mix(_spec.mix_spec())
+del _spec
+
+
+def scenario_names() -> List[str]:
+    """Ladder rung names, most memory-intensive first."""
+    return [s.name for s in SCENARIO_LADDER]
+
+
+def scenario_listing() -> str:
+    """One line per rung (CLI help and ``repro scenarios`` output)."""
+    lines = []
+    for s in SCENARIO_LADDER:
+        apps = ",".join(s.apps)
+        lines.append(f"  {s.name:<6} rpki {s.target_rpki:>6.2f}  "
+                     f"wpki {s.target_wpki:>5.2f}  {s.description} "
+                     f"({apps})")
+    return "\n".join(lines)

@@ -77,6 +77,19 @@ def _digest(payload: Dict[str, object]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+#: Characters allowed in an imported-trace name (it becomes a file name).
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def check_trace_name(name: str) -> str:
+    """Validate a user-chosen imported-trace name; returns it unchanged."""
+    if not name or not set(name) <= _NAME_OK:
+        raise ValueError(
+            f"invalid trace name {name!r}: use letters, digits, and ._- only")
+    return name
+
+
 class ExperimentCache:
     """Directory-backed store of traces and baseline run results."""
 
@@ -163,6 +176,97 @@ class ExperimentCache:
             tmp_sidecar.unlink(missing_ok=True)
         return path
 
+    # -- imported external traces -------------------------------------------
+    #
+    # Unlike generated traces (content-keyed, regenerable on a miss),
+    # imported traces are *named* originals: the source file may be gone,
+    # so entries live under ``imported/<name>`` with a JSON meta record
+    # carrying a content digest. The digest folds into baseline cache
+    # keys so re-importing a different trace under the same name can
+    # never resurrect a stale baseline.
+
+    def store_imported_trace(self, name: str, trace: WorkloadTrace,
+                             summary: Optional[Dict[str, object]] = None
+                             ) -> Path:
+        """Persist an ingested trace under ``imported/<name>``."""
+        check_trace_name(name)
+        path = self._imported_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp.npy")
+        os.close(fd)
+        tmp_sidecar = columnar_sidecar_path(tmp)
+        try:
+            trace.save_columnar(tmp)
+            digest = self._file_digest(Path(tmp), tmp_sidecar)
+            meta = {"name": name, "digest": digest,
+                    "summary": summary or {}}
+            fd, tmp_meta = tempfile.mkstemp(dir=path.parent,
+                                            suffix=".import.json.tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(meta))
+            # Data first, sidecar second, meta last: a reader only
+            # trusts the entry once all pieces exist.
+            os.replace(tmp, path)
+            os.replace(tmp_sidecar, columnar_sidecar_path(path))
+            os.replace(tmp_meta, self._imported_meta_path(name))
+        finally:
+            Path(tmp).unlink(missing_ok=True)
+            tmp_sidecar.unlink(missing_ok=True)
+        return path
+
+    def load_imported_trace(self, name: str) -> Optional[WorkloadTrace]:
+        """The imported trace stored under ``name``, or None."""
+        path = self._imported_path(name)
+        if not (path.exists() and columnar_sidecar_path(path).exists()):
+            return None
+        return WorkloadTrace.load_columnar(path, mmap=True)
+
+    def imported_trace_digest(self, name: str) -> Optional[str]:
+        """Content digest of the named imported trace, or None."""
+        meta_path = self._imported_meta_path(name)
+        if meta_path.exists():
+            try:
+                return str(json.loads(meta_path.read_text())["digest"])
+            except (ValueError, KeyError):
+                pass
+        path = self._imported_path(name)
+        sidecar = columnar_sidecar_path(path)
+        if path.exists() and sidecar.exists():
+            return self._file_digest(path, sidecar)
+        return None
+
+    def imported_trace_meta(self, name: str) -> Optional[Dict[str, object]]:
+        """The stored import record (digest + ingestion summary)."""
+        meta_path = self._imported_meta_path(name)
+        if not meta_path.exists():
+            return None
+        try:
+            return json.loads(meta_path.read_text())
+        except ValueError:
+            return None
+
+    def imported_names(self) -> List[str]:
+        """Names of complete imported traces (both halves present)."""
+        imported = self.root / "imported"
+        if not imported.exists():
+            return []
+        return sorted(
+            p.stem for p in imported.glob("*.npy")
+            if columnar_sidecar_path(p).exists())
+
+    @staticmethod
+    def _file_digest(*paths: Path) -> str:
+        h = hashlib.sha256()
+        for path in paths:
+            h.update(path.read_bytes())
+        return h.hexdigest()
+
+    def _imported_path(self, name: str) -> Path:
+        return self.root / "imported" / f"{name}.npy"
+
+    def _imported_meta_path(self, name: str) -> Path:
+        return self.root / "imported" / f"{name}.import.json"
+
     # -- baseline run results ----------------------------------------------
 
     def load_run(self, key: str) -> Optional[RunResult]:
@@ -242,10 +346,12 @@ class ExperimentCache:
         trace_entries = legacy_trace_entries = run_entries = 0
         orphan_files = 0
         total_bytes = 0
+        imported_entries = 0
         if self.root.exists():
             complete, orphans = self._scan_traces()
             trace_entries = len(complete)
             orphan_files = len(orphans)
+            imported_entries = len(self.imported_names())
             for path in self.root.rglob("*"):
                 if not path.is_file():
                     continue
@@ -258,6 +364,7 @@ class ExperimentCache:
             "root": str(self.root),
             "trace_entries": trace_entries,
             "legacy_trace_entries": legacy_trace_entries,
+            "imported_entries": imported_entries,
             "run_entries": run_entries,
             "orphan_files": orphan_files,
             "total_bytes": total_bytes,

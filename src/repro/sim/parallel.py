@@ -58,10 +58,11 @@ import multiprocessing
 
 from repro.config import SystemConfig, scaled_config
 from repro.cpu.trace import WorkloadTrace
-from repro.cpu.workloads import MIXES
+from repro.cpu.workloads import known_mix_names
 from repro.sim.cache import DEFAULT_CACHE_DIR, ExperimentCache
 from repro.sim.results import PolicyComparison, RunResult
-from repro.sim.runner import POLICY_NAMES, ExperimentRunner, RunnerSettings
+from repro.sim.runner import (IMPORTED_TRACE_PREFIX, POLICY_NAMES,
+                              ExperimentRunner, RunnerSettings)
 from repro.sim.telemetry import JsonlTelemetry
 
 PathLike = Union[str, Path]
@@ -180,6 +181,33 @@ class PlacementOutcome:
     telemetry_path: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One unit of scenario-sweep work: a mix under one policy on one
+    named device technology table (:mod:`repro.scenarios.devices`)."""
+
+    mix: str
+    policy: str
+    device: str
+
+
+@dataclass
+class ScenarioOutcome:
+    """Result of one :class:`ScenarioJob`, with device accounting."""
+
+    mix: str
+    policy: str
+    device: str
+    result: RunResult
+    comparison: PolicyComparison
+    #: Background (standby) share of the run's DIMM energy — the number
+    #: a device table shifts most visibly (STT-MRAM drives it near 0).
+    background_share: float
+    wall_s: float
+    cache_hits: int = 0
+    telemetry_path: Optional[str] = None
+
+
 @dataclass
 class SweepOutcome:
     """Result of one :class:`SweepJob`, with execution metadata."""
@@ -232,6 +260,8 @@ def job_label(job: object) -> str:
                 f"{multidomain_label(job.budget_fraction, job.coordinated)}")
     if isinstance(job, PlacementJob):
         return f"{job.mix}/{placement_label(job.placed)}"
+    if isinstance(job, ScenarioJob):
+        return f"{job.mix}/{scenario_label(job.policy, job.device)}"
     return str(job)
 
 
@@ -272,6 +302,11 @@ def multidomain_label(budget_fraction: float, coordinated: bool) -> str:
 def placement_label(placed: bool) -> str:
     """Display/file label for one placement sweep leg."""
     return "Placed" if placed else "NoPlacement"
+
+
+def scenario_label(policy: str, device: str) -> str:
+    """Display/file label for one scenario sweep point."""
+    return f"{policy}@{device}"
 
 
 # -- worker-side entry points (module level: must be picklable) -----------
@@ -475,6 +510,47 @@ def _run_placement_job(args: Tuple[SystemConfig, RunnerSettings,
         cache_hits=hits, telemetry_path=telemetry_path)
 
 
+def _run_scenario_job(args: Tuple[SystemConfig, RunnerSettings, ScenarioJob,
+                                  Optional[str], Optional[str]]
+                      ) -> ScenarioOutcome:
+    """Fan-out task: one policy run on one device technology table.
+
+    The worker swaps the job's device table into the sweep config
+    (timings + currents only, so cache fingerprints and the service
+    ledger see an ordinary config change) before building the runner:
+    each (mix, device) pair gets its own baseline, and the comparison is
+    normalized within the device — a policy's savings on STT-MRAM are
+    judged against an STT-MRAM baseline, not a DDR3 one.
+    """
+    from repro.scenarios.devices import apply_device
+
+    config, settings, job, cache_dir, telemetry_dir = args
+    start = time.perf_counter()
+    runner = _make_runner(apply_device(config, job.device), settings,
+                          cache_dir)
+    telemetry = None
+    telemetry_path = None
+    if telemetry_dir is not None:
+        telemetry_path = str(Path(telemetry_dir) / telemetry_filename(
+            job.mix, scenario_label(job.policy, job.device)))
+        telemetry = JsonlTelemetry(telemetry_path)
+    try:
+        result, comparison = runner.run_named_policy(
+            job.mix, job.policy, telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    dimm_j = result.memory_energy_j - result.energy_j.get("mc", 0.0)
+    background = result.energy_j.get("background", 0.0)
+    hits = runner.cache.hits if runner.cache is not None else 0
+    return ScenarioOutcome(
+        mix=job.mix, policy=job.policy, device=job.device,
+        result=result, comparison=comparison,
+        background_share=background / dimm_j if dimm_j > 0 else 0.0,
+        wall_s=time.perf_counter() - start,
+        cache_hits=hits, telemetry_path=telemetry_path)
+
+
 # -- driver ----------------------------------------------------------------
 
 def _executor(jobs: int) -> ProcessPoolExecutor:
@@ -619,9 +695,14 @@ def split_outcomes(outcomes: Sequence[object]
 
 
 def _check_inputs(mixes: Sequence[str], policies: Sequence[str]) -> None:
+    known = known_mix_names()
     for mix in mixes:
-        if mix not in MIXES:
-            raise ValueError(f"unknown mix {mix!r}; choose from {list(MIXES)}")
+        # ``trace:<name>`` mixes resolve against the worker's cache (the
+        # imported-trace store), not the synthetic registry.
+        if mix.startswith(IMPORTED_TRACE_PREFIX):
+            continue
+        if mix not in known:
+            raise ValueError(f"unknown mix {mix!r}; choose from {known}")
     for policy in policies:
         if policy not in POLICY_NAMES:
             raise ValueError(
@@ -863,6 +944,62 @@ def run_placement_sweep(mixes: Sequence[str],
                 for job in pl_jobs]
     return _fan_out(_run_placement_job, job_args, pl_jobs, mixes,
                     config, settings, cache_dir, jobs, retries)
+
+
+def run_scenario_sweep(mixes: Sequence[str],
+                       policies: Sequence[str] = ("MemScale",),
+                       devices: Sequence[str] = ("ddr3-1333",),
+                       config: Optional[SystemConfig] = None,
+                       settings: Optional[RunnerSettings] = None,
+                       jobs: Optional[int] = None,
+                       cache_dir: Optional[PathLike] = DEFAULT_CACHE_DIR,
+                       telemetry_dir: Optional[PathLike] = None,
+                       retries: int = 0) -> List[ScenarioOutcome]:
+    """Evaluate ``mixes x policies x devices``, in parallel.
+
+    The third axis names device technology tables
+    (:data:`repro.scenarios.devices.DEVICE_TABLES`); each job runs on a
+    copy of ``config`` with that device's timings/currents swapped in.
+    Mixes may be ladder rungs (``mix1``..``mix7``), Table 1 names, or
+    ``trace:<name>`` imports. The warm phase runs once per (mix,
+    device): baselines are device-specific, so each device's jobs warm
+    their own cache entries.
+
+    Outcomes are ordered ``(mix, policy, device)`` in input order.
+    """
+    from repro.scenarios.devices import lookup_device
+
+    mixes = list(mixes)
+    policies = list(policies)
+    devices = list(devices)
+    if not devices:
+        raise ValueError("need at least one device table")
+    _check_inputs(mixes, policies)
+    for device in devices:
+        lookup_device(device)  # fail fast on unknown names
+    config = config if config is not None else scaled_config()
+    settings = settings if settings is not None else RunnerSettings()
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    if telemetry_dir is not None:
+        Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
+        telemetry_dir = str(telemetry_dir)
+
+    scenario_jobs = [ScenarioJob(mix, policy, device)
+                     for mix in mixes for policy in policies
+                     for device in devices]
+    job_args = [(config, settings, job, cache_dir, telemetry_dir)
+                for job in scenario_jobs]
+    if jobs > 1:
+        from repro.scenarios.devices import apply_device
+        for device in devices:
+            warm_mixes(mixes, apply_device(config, device), settings,
+                       cache_dir, jobs)
+    return execute_jobs(_run_scenario_job, job_args, scenario_jobs, jobs,
+                        retries=retries)
 
 
 def generate_traces(mixes: Sequence[str],

@@ -41,6 +41,11 @@ from repro.sim.results import PolicyComparison, RunResult, compare_to_baseline
 from repro.sim.system import SystemSimulator
 from repro.sim.telemetry import TelemetrySink
 
+#: Mix names with this prefix refer to *imported* external traces in
+#: the attached experiment cache (``repro trace import --name foo``
+#: then ``--mix trace:foo``) rather than synthetic generator specs.
+IMPORTED_TRACE_PREFIX = "trace:"
+
 #: Names accepted by :meth:`ExperimentRunner.run_named_policy`, mirroring
 #: the alternatives of Section 4.2.3.
 POLICY_NAMES = (
@@ -148,8 +153,17 @@ class ExperimentRunner:
 
         Consults the on-disk cache first when one is attached; a miss
         regenerates the trace and stores it for future processes.
+
+        A ``trace:<name>`` mix resolves to the *imported* trace stored
+        under ``<name>`` in the attached cache (``repro trace import``)
+        instead of the synthetic generator; imported traces replay
+        verbatim, so the runner's ``instructions_per_core`` knob does
+        not apply and ``cores`` must match the import.
         """
         if mix not in self._traces:
+            if mix.startswith(IMPORTED_TRACE_PREFIX):
+                self._traces[mix] = self._imported_trace(mix)
+                return self._traces[mix]
             trace = None
             key = None
             if self.cache is not None:
@@ -165,6 +179,30 @@ class ExperimentRunner:
                     self.cache.store_trace(key, trace)
             self._traces[mix] = trace
         return self._traces[mix]
+
+    def _imported_trace(self, mix: str) -> WorkloadTrace:
+        """Resolve a ``trace:<name>`` mix from the imported-trace store."""
+        name = mix[len(IMPORTED_TRACE_PREFIX):]
+        if self.cache is None:
+            raise ValueError(
+                f"mix {mix!r} names an imported trace, which requires an "
+                "experiment cache; attach one (the CLI's --cache-dir, on "
+                "by default) or pass cache= to ExperimentRunner")
+        trace = self.cache.load_imported_trace(name)
+        if trace is None:
+            known = self.cache.imported_names()
+            raise ValueError(
+                f"no imported trace named {name!r} in cache "
+                f"{self.cache.root} (have: {known or 'none'}); import it "
+                f"first with `repro trace import FILE --name {name}`")
+        if len(trace.cores) != self.settings.cores:
+            raise ValueError(
+                f"imported trace {name!r} was ingested for "
+                f"{len(trace.cores)} cores but the runner is configured "
+                f"for {self.settings.cores}; pass --cores "
+                f"{len(trace.cores)} (or re-import with --cores "
+                f"{self.settings.cores})")
+        return trace
 
     def run_governor(self, mix: str, governor: Governor,
                      telemetry: Optional[TelemetrySink] = None) -> RunResult:
@@ -184,8 +222,15 @@ class ExperimentRunner:
             result = None
             key = None
             if self.cache is not None:
+                key_mix = mix
+                if mix.startswith(IMPORTED_TRACE_PREFIX):
+                    # Bind the baseline to the imported trace *content*:
+                    # re-importing a different file under the same name
+                    # must never resurrect the old baseline.
+                    name = mix[len(IMPORTED_TRACE_PREFIX):]
+                    key_mix = f"{mix}@{self.cache.imported_trace_digest(name)}"
                 key = self.cache.baseline_key(
-                    self.config, mix, self.settings.cores,
+                    self.config, key_mix, self.settings.cores,
                     self.settings.instructions_per_core, self.settings.seed)
                 result = self.cache.load_run(key)
             if result is None:

@@ -46,13 +46,19 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+try:  # POSIX-only; the lockfile degrades to a no-op elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro.config import (ConfigError, SystemConfig, config_from_dict,
                           config_to_dict, scaled_config)
 from repro.sim.cache import config_fingerprint
 from repro.sim.parallel import (CapJob, JobFailure, MultiDomainJob,
-                                PlacementJob, SweepJob, _run_cap_job,
-                                _run_job, _run_multidomain_job,
-                                _run_placement_job, default_jobs,
+                                PlacementJob, ScenarioJob, SweepJob,
+                                _run_cap_job, _run_job,
+                                _run_multidomain_job, _run_placement_job,
+                                _run_scenario_job, default_jobs,
                                 execute_jobs, job_label, warm_mixes)
 from repro.sim.runner import RunnerSettings
 from repro.sim.store import (ResultStore, failure_record, ok_record,
@@ -68,6 +74,9 @@ LEDGER_NAME = "queue.jsonl"
 
 #: Result-store subdirectory inside the service directory.
 STORE_NAME = "store"
+
+#: Advisory lock file inside the service directory.
+LOCK_NAME = "lock"
 
 
 class ServiceError(RuntimeError):
@@ -104,7 +113,9 @@ class JobSpec:
     ``budget_fraction`` — None meaning the throttle reference — for cap
     sweeps, ``budget_fraction`` + ``coordinated`` for multi-domain,
     ``coordinated`` carrying the placed flag for placement sweeps — a
-    boolean leg selector either way, so the key schema is unchanged).
+    boolean leg selector either way, so the key schema is unchanged;
+    ``policy`` + ``device`` for scenario sweeps, which additionally pin
+    a device technology table).
     """
 
     kind: str
@@ -112,9 +123,11 @@ class JobSpec:
     policy: Optional[str] = None
     budget_fraction: Optional[float] = None
     coordinated: Optional[bool] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("policy", "cap", "multidomain", "placement"):
+        if self.kind not in ("policy", "cap", "multidomain", "placement",
+                             "scenario"):
             raise ValueError(f"unknown job kind {self.kind!r}")
         if self.kind == "policy" and not self.policy:
             raise ValueError("policy jobs need a policy name")
@@ -125,6 +138,9 @@ class JobSpec:
         if self.kind == "placement" and self.coordinated is None:
             raise ValueError("placement jobs need the placed flag "
                              "(carried in the coordinated field)")
+        if self.kind == "scenario" and (not self.policy or not self.device):
+            raise ValueError("scenario jobs need a policy name and a "
+                             "device table name")
 
     def to_job(self) -> object:
         """The runnable job dataclass this spec describes."""
@@ -134,6 +150,8 @@ class JobSpec:
             return CapJob(self.mix, self.budget_fraction)
         if self.kind == "placement":
             return PlacementJob(self.mix, bool(self.coordinated))
+        if self.kind == "scenario":
+            return ScenarioJob(self.mix, self.policy, self.device)
         return MultiDomainJob(self.mix, self.budget_fraction,
                               self.coordinated)
 
@@ -144,17 +162,22 @@ class JobSpec:
 
     def key(self, config_hash: str, settings_hash: str) -> str:
         """Content key: spec + config/settings fingerprints."""
-        return content_digest({
+        payload = {
             "format": SERVICE_FORMAT, "kind": self.kind, "mix": self.mix,
             "policy": self.policy, "budget_fraction": self.budget_fraction,
             "coordinated": self.coordinated, "config": config_hash,
             "settings": settings_hash,
-        })
+        }
+        # Only scenario jobs carry a device; omitting the field otherwise
+        # keeps every pre-existing service directory's keys stable.
+        if self.device is not None:
+            payload["device"] = self.device
+        return content_digest(payload)
 
     def to_dict(self) -> Dict[str, object]:
         return {"kind": self.kind, "mix": self.mix, "policy": self.policy,
                 "budget_fraction": self.budget_fraction,
-                "coordinated": self.coordinated}
+                "coordinated": self.coordinated, "device": self.device}
 
     def job_dict(self) -> Dict[str, object]:
         """The ``job`` section of this spec's store records."""
@@ -167,7 +190,8 @@ class JobSpec:
         return cls(kind=data["kind"], mix=data["mix"],
                    policy=data.get("policy"),
                    budget_fraction=data.get("budget_fraction"),
-                   coordinated=data.get("coordinated"))
+                   coordinated=data.get("coordinated"),
+                   device=data.get("device"))
 
 
 # -- spec builders ----------------------------------------------------------
@@ -210,6 +234,14 @@ def placement_specs(mixes: Sequence[str],
             for mix in mixes for placed in legs]
 
 
+def scenario_specs(mixes: Sequence[str], policies: Sequence[str],
+                   devices: Sequence[str]) -> List[JobSpec]:
+    """Specs for a (mix x policy x device) scenario sweep,
+    :func:`run_scenario_sweep` order."""
+    return [JobSpec("scenario", mix, policy=policy, device=device)
+            for mix in mixes for policy in policies for device in devices]
+
+
 # -- ledger ----------------------------------------------------------------
 
 def _append_jsonl(path: Path, record: Dict[str, object]) -> None:
@@ -248,12 +280,62 @@ def read_ledger(path: Path) -> Tuple[List[Dict[str, object]], int]:
     return records, skipped
 
 
+# -- service-directory lock -------------------------------------------------
+
+class ServiceLock:
+    """Advisory exclusive lock on a service directory.
+
+    Two service processes executing over the same ``--dir`` would race
+    the ledger and double-run pending jobs, so :meth:`SweepService.run`
+    and :meth:`SweepService.resume` hold this lock for their duration.
+    It is an OS-level ``flock`` on ``<root>/lock``: contention fails
+    fast with :class:`ServiceError` instead of corrupting anything, and
+    the kernel releases the lock when the holder exits — even via
+    SIGKILL — so a crashed sweep never leaves a stale lock behind.
+    On platforms without ``fcntl`` the lock degrades to a no-op.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.path = Path(root) / LOCK_NAME
+        self._fh = None
+
+    def acquire(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "a+")
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            fh.close()
+            raise ServiceError(
+                f"{self.path.parent}: another service process holds the "
+                "lock on this directory; wait for it to finish or use a "
+                "different --dir")
+        self._fh = fh
+
+    def release(self) -> None:
+        if self._fh is None:
+            return
+        fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "ServiceLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
 # -- worker-side entry point (module level: must be picklable) -------------
 
 #: Dispatch from spec kind to the parallel module's worker function.
 _JOB_FNS = {"policy": _run_job, "cap": _run_cap_job,
             "multidomain": _run_multidomain_job,
-            "placement": _run_placement_job}
+            "placement": _run_placement_job,
+            "scenario": _run_scenario_job}
 
 
 def _service_job(args: Tuple) -> object:
@@ -424,16 +506,23 @@ class SweepService:
         deterministic failure into matching jobs (tests/smoke);
         ``max_jobs`` bounds how many pending jobs this call executes —
         the controlled-interrupt hook.
+
+        Holds the directory's :class:`ServiceLock` for the duration: a
+        second concurrent ``run``/``resume`` over the same ``--dir``
+        fails fast with :class:`ServiceError`.
         """
-        self.submit(specs)
-        self._execute(self.pending(), fail_labels=fail_labels,
-                      max_jobs=max_jobs)
+        with ServiceLock(self.root):
+            self.submit(specs)
+            self._execute(self.pending(), fail_labels=fail_labels,
+                          max_jobs=max_jobs)
         return self.results()
 
     def resume(self, max_jobs: Optional[int] = None) -> List[object]:
         """Finish an interrupted sweep: execute only the pending jobs
-        (no failure injection — a resumed job gets a clean attempt)."""
-        self._execute(self.pending(), max_jobs=max_jobs)
+        (no failure injection — a resumed job gets a clean attempt).
+        Takes the directory's :class:`ServiceLock` like :meth:`run`."""
+        with ServiceLock(self.root):
+            self._execute(self.pending(), max_jobs=max_jobs)
         return self.results()
 
     def _execute(self, pending: Sequence[Tuple[str, JobSpec]],

@@ -35,9 +35,10 @@ Record schema (``STORE_FORMAT`` 1)::
 
 ``outcome`` is kind-specific: the common core is the serialized
 :class:`~repro.sim.results.RunResult` plus its
-:class:`~repro.sim.results.PolicyComparison`; cap, multi-domain, and
-placement outcomes add their bookkeeping fields. :func:`outcome_to_dict`
-/ :func:`outcome_from_dict` round-trip all four outcome dataclasses.
+:class:`~repro.sim.results.PolicyComparison`; cap, multi-domain,
+placement, and scenario outcomes add their bookkeeping fields.
+:func:`outcome_to_dict` / :func:`outcome_from_dict` round-trip all five
+outcome dataclasses.
 """
 
 from __future__ import annotations
@@ -50,7 +51,8 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.sim.parallel import (CapOutcome, JobFailure, MultiDomainOutcome,
-                                PlacementOutcome, SweepOutcome)
+                                PlacementOutcome, ScenarioOutcome,
+                                SweepOutcome)
 from repro.sim.serialize import (comparison_from_dict, comparison_to_dict,
                                  run_result_from_dict, run_result_to_dict)
 
@@ -115,6 +117,19 @@ def outcome_to_dict(outcome: object) -> Dict[str, object]:
             "cache_hits": outcome.cache_hits,
             "telemetry_path": outcome.telemetry_path,
         }
+    if isinstance(outcome, ScenarioOutcome):
+        return {
+            "kind": "scenario",
+            "mix": outcome.mix,
+            "policy": outcome.policy,
+            "device": outcome.device,
+            "result": run_result_to_dict(outcome.result),
+            "comparison": comparison_to_dict(outcome.comparison),
+            "background_share": outcome.background_share,
+            "wall_s": outcome.wall_s,
+            "cache_hits": outcome.cache_hits,
+            "telemetry_path": outcome.telemetry_path,
+        }
     if isinstance(outcome, PlacementOutcome):
         return {
             "kind": "placement",
@@ -161,6 +176,11 @@ def outcome_from_dict(data: Dict[str, object]) -> object:
             core_energy_j=data["core_energy_j"],
             system_energy_j=data["system_energy_j"],
             summary=data["summary"], **common)
+    if kind == "scenario":
+        return ScenarioOutcome(
+            mix=data["mix"], policy=data["policy"], device=data["device"],
+            result=result, comparison=comparison,
+            background_share=data["background_share"], **common)
     if kind == "placement":
         return PlacementOutcome(
             mix=data["mix"], placed=data["placed"],

@@ -22,13 +22,17 @@ def test_scenarios_are_pinned():
     # The gate is only meaningful against a fixed workload: scenario
     # names, mixes, and seeds are part of the benchmark's contract.
     by_name = {s.name: s for s in SCENARIOS}
-    assert set(by_name) == {"smoke", "mid1", "ilp"}
+    assert set(by_name) == {"smoke", "mid1", "ilp", "ladder"}
     assert all(s.seed == 2011 for s in SCENARIOS)
     assert by_name["smoke"].mix == "MID1" and by_name["mid1"].mix == "MID1"
     assert by_name["smoke"].policies == ("Baseline", "MemScale", "Static")
     # the low-MPKI scenario the idle-period fast-forward path targets
     assert by_name["ilp"].mix == "ILP2"
     assert by_name["ilp"].policies == ("Baseline", "Fast-PD", "MemScale")
+    # the scenario-library rung (absent from older committed baselines;
+    # the gate skips scenarios the baseline file lacks)
+    assert by_name["ladder"].mix == "mix2"
+    assert by_name["ladder"].policies == ("Baseline", "MemScale")
 
 
 def test_run_scenario_counts_events():

@@ -4,6 +4,7 @@ controlled interrupt and a real SIGKILL of an in-flight `repro service
 run`), and byte-identity of a resumed store against an uninterrupted
 serial sweep."""
 
+import hashlib
 import json
 import os
 import signal
@@ -19,9 +20,11 @@ from repro.sim.parallel import (JobFailure, run_placement_sweep, run_sweep,
                                 split_outcomes)
 from repro.sim.runner import RunnerSettings
 from repro.sim.serialize import run_result_to_dict
-from repro.sim.service import (LEDGER_NAME, JobSpec, ServiceError,
-                               SweepService, cap_specs, multidomain_specs,
-                               placement_specs, policy_specs, read_ledger)
+from repro.sim.service import (LEDGER_NAME, LOCK_NAME, JobSpec,
+                               ServiceError, ServiceLock, SweepService,
+                               cap_specs, multidomain_specs,
+                               placement_specs, policy_specs, read_ledger,
+                               scenario_specs)
 from repro.sim.store import deterministic_digest
 
 SETTINGS = RunnerSettings(cores=4, instructions_per_core=4_000, seed=7)
@@ -324,6 +327,74 @@ class TestServiceKinds:
                 for s in placement_specs(["MID1"],
                                          include_reference=False)] \
             == ["MID1/Placed"]
+
+
+class TestScenarioKind:
+    def test_spec_validation_and_round_trip(self):
+        with pytest.raises(ValueError, match="device"):
+            JobSpec("scenario", "mix2", policy="MemScale")
+        spec = JobSpec("scenario", "mix2", policy="MemScale",
+                       device="stt-mram")
+        assert spec.label == "mix2/MemScale@stt-mram"
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+        assert [s.label for s in scenario_specs(["mix2"], ["MemScale"],
+                                                ["ddr3-1333", "ddr3l"])] \
+            == ["mix2/MemScale@ddr3-1333", "mix2/MemScale@ddr3l"]
+
+    def test_device_free_keys_unchanged_by_the_device_field(self):
+        # Pre-scenario service directories content-address their jobs
+        # without a device entry; adding the field must not shift the
+        # keys of any existing kind.
+        spec = JobSpec("policy", "MID1", policy="Static")
+        payload = {"format": 1, "kind": "policy", "mix": "MID1",
+                   "policy": "Static", "budget_fraction": None,
+                   "coordinated": None, "config": "c", "settings": "s"}
+        expected = hashlib.sha256(
+            json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")).encode()).hexdigest()
+        assert spec.key("c", "s") == expected
+
+    def test_scenario_jobs_run_through_the_service(self, tmp_path):
+        svc = make_service(tmp_path / "s")
+        out = svc.run(scenario_specs(["mix2"], ["MemScale"],
+                                     ["ddr3-1333", "stt-mram"]))
+        good, bad = split_outcomes(out)
+        assert not bad and len(good) == 2
+        ddr3, stt = good
+        assert (ddr3.device, stt.device) == ("ddr3-1333", "stt-mram")
+        # The STT-MRAM-like table has near-zero standby power, so its
+        # background share of DIMM energy must sit well below DDR3's.
+        assert stt.background_share < ddr3.background_share
+        assert svc.store.query(kind="scenario", status="ok")
+
+
+class TestServiceLock:
+    def test_second_locker_fails_fast(self, tmp_path):
+        root = tmp_path / "s"
+        with ServiceLock(root):
+            assert (root / LOCK_NAME).exists()
+            with pytest.raises(ServiceError, match="another service "
+                                                   "process holds"):
+                ServiceLock(root).acquire()
+        # Released on exit: a later locker succeeds.
+        with ServiceLock(root):
+            pass
+
+    def test_run_holds_the_directory_lock(self, tmp_path):
+        calls = []
+
+        class Probe(SweepService):
+            def _execute(self, pending, **kwargs):
+                with pytest.raises(ServiceError, match="holds the lock"):
+                    ServiceLock(self.root).acquire()
+                calls.append("probed")
+                return super()._execute(pending, **kwargs)
+
+        svc = Probe(tmp_path / "s", settings=SETTINGS, jobs=1, retries=0)
+        svc.run(policy_specs(["MID1"], ["Static"]))
+        assert calls == ["probed"]
+        # After run() returns the lock is free again.
+        ServiceLock(tmp_path / "s").acquire()
 
 
 class TestPlacementDifferential:

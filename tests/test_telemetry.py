@@ -9,6 +9,9 @@ from repro.sim.runner import ExperimentRunner, RunnerSettings
 from repro.sim.system import SystemSimulator
 from repro.sim.telemetry import (
     EPOCH_RECORD_FIELDS,
+    EPOCH_RECORD_FIELDS_V1,
+    EPOCH_RECORD_FIELDS_V2,
+    EPOCH_RECORD_FIELDS_V3,
     TELEMETRY_SCHEMA_VERSION,
     JsonlTelemetry,
     ListTelemetry,
@@ -19,6 +22,31 @@ from repro.sim.telemetry import (
 )
 
 SETTINGS = RunnerSettings(cores=4, instructions_per_core=20_000, seed=7)
+
+#: Every schema version ever written, with the exact field tuple a
+#: writer of that version emitted. New schema bumps add one entry here
+#: and the forward-compat matrix below covers them automatically.
+VERSION_FIELDS = {
+    1: EPOCH_RECORD_FIELDS_V1,
+    2: EPOCH_RECORD_FIELDS_V2,
+    3: EPOCH_RECORD_FIELDS_V3,
+    4: EPOCH_RECORD_FIELDS,
+}
+
+
+def _record_for_version(version):
+    """A valid record exactly as a writer of ``version`` emitted it."""
+    record = epoch_record(
+        workload="MID1", governor="MemScale", epoch=0,
+        t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
+        actual_cpi={}, energy_j={}, memory_power_w=0.0,
+        channel_util=[])
+    keep = set(VERSION_FIELDS[version])
+    for name in list(record):
+        if name not in keep:
+            del record[name]
+    record["schema"] = version
+    return record
 
 
 @pytest.fixture(scope="module")
@@ -88,20 +116,6 @@ class TestSchema:
         assert record["cap_feasible"] is True
         validate_epoch_record(record)
 
-    def test_v1_records_still_accepted(self):
-        # Historical files written before the cap fields existed: the
-        # loader must accept them without the four v2 fields.
-        record = epoch_record(
-            workload="MID1", governor="MemScale", epoch=0,
-            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
-            actual_cpi={}, energy_j={}, memory_power_w=0.0,
-            channel_util=[])
-        for name in ("budget_w", "predicted_power_w", "cap_feasible",
-                     "min_perf_norm"):
-            del record[name]
-        record["schema"] = 1
-        validate_epoch_record(record)
-
     def test_v2_record_missing_cap_field_rejected(self):
         record = epoch_record(
             workload="MID1", governor="MemScale", epoch=0,
@@ -153,20 +167,6 @@ class TestSchema:
         assert record["domain_budget_split"]["memory_w"] == 10.8
         validate_epoch_record(record)
 
-    def test_v2_records_still_accepted(self):
-        # Historical files written before the per-domain fields existed:
-        # the loader must accept them without the three v3 fields.
-        record = epoch_record(
-            workload="MID1", governor="Cap-20.00W", epoch=0,
-            t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
-            actual_cpi={}, energy_j={}, memory_power_w=0.0,
-            channel_util=[])
-        for name in ("core_freq_mhz", "core_power_w",
-                     "domain_budget_split"):
-            del record[name]
-        record["schema"] = 2
-        validate_epoch_record(record)
-
     def test_v3_record_missing_per_domain_field_rejected(self):
         record = epoch_record(
             workload="MID1", governor="MultiDomain-25.00W", epoch=0,
@@ -191,23 +191,48 @@ class TestSchema:
         with pytest.raises(ValueError, match="domain_budget_split"):
             validate_epoch_record(record)
 
-    def test_v3_round_trip_through_file(self, tmp_path):
-        path = tmp_path / "md.jsonl"
-        with JsonlTelemetry(path) as sink:
-            sink.emit(epoch_record(
-                workload="MID1", governor="MultiDomain-25.00W", epoch=0,
-                t_start_ns=0.0, t_end_ns=1.0, bus_mhz=800.0,
-                actual_cpi={}, energy_j={}, memory_power_w=0.0,
-                channel_util=[],
-                governor_state={"core_freq_mhz": 3600.0,
-                                "core_power_w": 11.2,
-                                "domain_budget_split": {"core_w": 11.2,
-                                                        "memory_w": 10.8}}))
-        (record,) = load_telemetry(path)
-        assert record["schema"] == TELEMETRY_SCHEMA_VERSION
-        assert record["core_freq_mhz"] == 3600.0
-        assert record["domain_budget_split"] == {"core_w": 11.2,
-                                                 "memory_w": 10.8}
+class TestForwardCompatMatrix:
+    """Every historical schema version loads through every reader.
+
+    Replaces the per-version acceptance tests that accumulated with each
+    schema bump: the matrix is (version x reader), so adding v5 means
+    appending one entry to ``VERSION_FIELDS``.
+    """
+
+    @pytest.mark.parametrize("version", sorted(VERSION_FIELDS))
+    def test_versioned_record_has_exactly_its_fields(self, version):
+        record = _record_for_version(version)
+        assert tuple(record) == VERSION_FIELDS[version]
+
+    @pytest.mark.parametrize("reader",
+                             ["validate", "read", "load"])
+    @pytest.mark.parametrize("version", sorted(VERSION_FIELDS))
+    def test_old_records_still_load(self, version, reader, tmp_path):
+        record = _record_for_version(version)
+        if reader == "validate":
+            validate_epoch_record(record)
+            return
+        path = tmp_path / f"v{version}.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        if reader == "read":
+            records, skipped = read_telemetry(path)
+            assert skipped == 0
+        else:
+            records = load_telemetry(path)
+        assert records == [record]
+
+    @pytest.mark.parametrize("version", sorted(VERSION_FIELDS))
+    def test_versioned_record_missing_its_last_field_rejected(
+            self, version):
+        record = _record_for_version(version)
+        del record[VERSION_FIELDS[version][-1]]
+        with pytest.raises(ValueError, match="missing"):
+            validate_epoch_record(record)
+
+    def test_current_version_is_the_matrix_maximum(self):
+        assert TELEMETRY_SCHEMA_VERSION == max(VERSION_FIELDS)
+        assert VERSION_FIELDS[TELEMETRY_SCHEMA_VERSION] \
+            == EPOCH_RECORD_FIELDS
 
 
 class TestSimulatorEmission:

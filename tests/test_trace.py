@@ -133,6 +133,33 @@ class TestColumnarFormat:
         np.testing.assert_array_equal(loaded.cores[0].gaps,
                                       self.make_mix().cores[0].gaps)
 
+    def test_missing_data_half_names_the_orphan(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        self.make_mix().save_columnar(path)
+        path.unlink()
+        with pytest.raises(FileNotFoundError) as exc:
+            WorkloadTrace.load_columnar(path)
+        message = str(exc.value)
+        assert f"data file {path}" in message
+        assert "sidecar" not in message.split("missing ")[1].split(";")[0]
+        assert "repro cache --prune" in message
+
+    def test_missing_sidecar_half_names_the_orphan(self, tmp_path):
+        path = tmp_path / "trace.npy"
+        self.make_mix().save_columnar(path)
+        columnar_sidecar_path(path).unlink()
+        with pytest.raises(FileNotFoundError) as exc:
+            WorkloadTrace.load_columnar(path)
+        message = str(exc.value)
+        assert f"sidecar {columnar_sidecar_path(path)}" in message
+        assert "repro cache --prune" in message
+
+    def test_both_halves_missing_names_both(self, tmp_path):
+        path = tmp_path / "absent.npy"
+        with pytest.raises(FileNotFoundError, match="data file .* and "
+                                                    "sidecar"):
+            WorkloadTrace.load_columnar(path)
+
     def test_unsupported_version_rejected(self, tmp_path):
         path = tmp_path / "trace.npy"
         self.make_mix().save_columnar(path)
