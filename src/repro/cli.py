@@ -142,6 +142,10 @@ def _make_runner(args) -> ExperimentRunner:
         config = config.replace(validate_protocol=True)
     if getattr(args, "no_fast_forward", False):
         config = config.replace(fast_forward=False)
+    if getattr(args, "no_busy_absorption", False):
+        config = config.replace(busy_absorption=False)
+    if getattr(args, "approx_steady_state", False):
+        config = config.replace(approx_steady_state=True)
     config = _device_config(config, getattr(args, "device", None))
     return ExperimentRunner(
         config=config,
@@ -165,6 +169,15 @@ def _add_ff_arg(parser: argparse.ArgumentParser) -> None:
                         help="disable idle-period fast-forward (results are "
                              "byte-identical either way; this is the "
                              "debugging escape hatch)")
+    parser.add_argument("--no-busy-absorption", action="store_true",
+                        help="disable busy-period chain absorption "
+                             "(results are byte-identical either way; "
+                             "debugging escape hatch)")
+    parser.add_argument("--approx-steady-state", action="store_true",
+                        help="enable the approximate steady-state "
+                             "surrogate: stationary epoch bodies are "
+                             "extrapolated instead of simulated "
+                             "(bounded-error results, not bit-exact)")
 
 
 def _add_cache_args(parser: argparse.ArgumentParser,
@@ -795,7 +808,10 @@ def cmd_perfbench(args) -> None:
                       update_baseline=args.update_baseline,
                       max_regression=args.max_regression,
                       fast_forward=not args.no_fast_forward,
-                      gate=not args.no_gate)
+                      approx=not args.no_approx,
+                      gate=not args.no_gate,
+                      profile=args.profile or args.profile_out is not None,
+                      profile_out=args.profile_out)
     except PerfRegressionError as exc:
         raise SystemExit(f"PERF REGRESSION: {exc}")
     except ValueError as exc:
@@ -1522,8 +1538,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("perfbench",
                        help="simulator-throughput benchmark with a "
                             "regression gate (writes BENCH_perf.json)")
-    p.add_argument("--repeats", type=int, default=10,
-                   help="best-of-N repeats per scenario (default 10)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="median-of-N repeats per scenario (default 3)")
     p.add_argument("--output", default="BENCH_perf.json", metavar="FILE",
                    help="benchmark/baseline JSON file (default "
                         "BENCH_perf.json)")
@@ -1537,6 +1553,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-gate", action="store_true",
                    help="report baseline vs current but never fail "
                         "(the CI smoke leg on shared runners)")
+    p.add_argument("--no-approx", action="store_true",
+                   help="measure with the steady-state surrogate "
+                        "disabled (exact event-by-event epoch bodies)")
+    p.add_argument("--profile", action="store_true",
+                   help="wrap the timed runs in cProfile and print the "
+                        "top-20 cumulative hot spots")
+    p.add_argument("--profile-out", default=None, metavar="FILE",
+                   help="with --profile: also dump the raw pstats "
+                        "profile to FILE (CI artifact)")
     _add_ff_arg(p)
     p.set_defaults(func=cmd_perfbench)
 

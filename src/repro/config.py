@@ -351,6 +351,18 @@ class SystemConfig:
     #: experiment cache ignores this flag too; it exists as an escape
     #: hatch and for measuring the speedup itself.
     fast_forward: bool = True
+    #: Absorb busy-period continuation chains inline (the deferred-
+    #: marker path in memsim/engine.py) instead of round-tripping each
+    #: request-path successor through the heap. Byte-identical on or
+    #: off — same contract and cache treatment as ``fast_forward``.
+    busy_absorption: bool = True
+    #: Approximate steady-state absorption (memsim/steady.py): when the
+    #: epoch profile is stationary, simulate only a slice of the epoch
+    #: body event-exactly and extrapolate the rest with batched numpy
+    #: counter kernels. Results are *approximate* (bounded-error
+    #: contract, see docs/performance.md), so this flag IS part of the
+    #: experiment cache fingerprint. Default off.
+    approx_steady_state: bool = False
 
     @property
     def max_bus_freq_mhz(self) -> float:
@@ -459,7 +471,8 @@ def config_from_dict(payload: Dict[str, object]) -> SystemConfig:
             kwargs[name] = cls(**payload[name])
     if "bus_freqs_mhz" in payload:
         kwargs["bus_freqs_mhz"] = tuple(payload["bus_freqs_mhz"])
-    for flag in ("validate_protocol", "fast_forward"):
+    for flag in ("validate_protocol", "fast_forward", "busy_absorption",
+                 "approx_steady_state"):
         if flag in payload:
             kwargs[flag] = bool(payload[flag])
     config = SystemConfig(**kwargs)

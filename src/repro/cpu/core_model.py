@@ -133,7 +133,8 @@ class Core:
         self._gap_start_ns = self._engine.now
         self._gap_total = gap
         self._gap_done = 0
-        self._engine.post(gap * self._instr_ns, lambda: self._issue(gap))
+        self._engine.post_chain(gap * self._instr_ns,
+                                lambda: self._issue(gap))
 
     def sync_committed(self) -> None:
         """Commit the instructions of the in-progress compute gap.
@@ -154,34 +155,69 @@ class Core:
             self._check_target()
 
     def _issue(self, gap: int) -> None:
-        """Commit the rest of the compute gap, then issue the LLC miss."""
+        """Commit the rest of the compute gap, then issue the LLC miss.
+
+        Hot path: the target check is inlined (same guard order-
+        insensitive conjunction as :meth:`_check_target`) and per-event
+        collaborator lookups are hoisted.
+        """
+        counters = self._counters
+        core_id = self.core_id
         remaining = gap - self._gap_done
         self._gap_done = gap
         if remaining > 0:
-            self.instructions_committed += remaining
-            self._counters.commit_instructions(self.core_id, remaining)
-        self._check_target()
+            committed = self.instructions_committed + remaining
+            self.instructions_committed = committed
+            counters.tic[core_id] += remaining
+        else:
+            committed = self.instructions_committed
+        target = self.target_instructions
+        if (target is not None and self.time_at_target_ns is None
+                and committed >= target):
+            self.time_at_target_ns = self._engine._now
+            if self.on_target_reached is not None:
+                self.on_target_reached()
         i = self._cursor
         self._cursor += 1
         read_addr = self._read_addrs[i]
         wb_addr = self._wb_addrs[i]
+        controller = self._controller
         if wb_addr >= 0:
-            self._controller.submit_writeback(wb_addr, core_id=self.core_id,
-                                              app_id=self.app_id)
-        self._counters.record_llc_miss(self.core_id)
+            controller.submit_writeback(wb_addr, core_id=core_id,
+                                        app_id=self.app_id)
+        counters.tlm[core_id] += 1.0
         self.misses_issued += 1
         self.blocked = True
-        self._controller.submit_read(read_addr, core_id=self.core_id,
-                                     app_id=self.app_id,
-                                     on_complete=self._on_miss_complete)
+        controller.submit_read(read_addr, core_id=core_id,
+                               app_id=self.app_id,
+                               on_complete=self._on_miss_complete)
 
     def _on_miss_complete(self, _request: MemRequest) -> None:
         # The missing instruction itself commits when its data returns.
         self.blocked = False
-        self.instructions_committed += 1
-        self._counters.commit_instructions(self.core_id, 1)
-        self._check_target()
-        self._schedule_next_issue()
+        committed = self.instructions_committed + 1
+        self.instructions_committed = committed
+        self._counters.tic[self.core_id] += 1
+        target = self.target_instructions
+        if (target is not None and self.time_at_target_ns is None
+                and committed >= target):
+            self.time_at_target_ns = self._engine._now
+            if self.on_target_reached is not None:
+                self.on_target_reached()
+        # inlined _schedule_next_issue (one call per serviced miss)
+        cursor = self._cursor
+        if cursor >= self._len:
+            if not self._loop:
+                self.finished = True
+                return
+            cursor = self._cursor = 0
+            self._passes += 1
+        gap = self._gaps[cursor]
+        self._gap_start_ns = self._engine._now
+        self._gap_total = gap
+        self._gap_done = 0
+        self._engine.post_chain(gap * self._instr_ns,
+                                lambda: self._issue(gap))
 
 
 class CpuCluster:
@@ -197,11 +233,21 @@ class CpuCluster:
             for i, trace in enumerate(traces)
         ]
         self.reached_count = 0
+        # The run loop's stop predicate is called after *every* event, so
+        # it must be as close to free as possible: ``all_reached_probe``
+        # is the bound ``list.__len__`` of a flag list that goes from
+        # empty to one element the moment the last core reaches its
+        # target — a C-level call with no Python frame, truthy exactly
+        # when every core is done.
+        self._all_reached: list = []
+        self.all_reached_probe = self._all_reached.__len__
         for core in self.cores:
             core.on_target_reached = self._on_core_reached
 
     def _on_core_reached(self) -> None:
         self.reached_count += 1
+        if self.reached_count >= len(self.cores):
+            self._all_reached.append(True)
 
     def __len__(self) -> int:
         return len(self.cores)

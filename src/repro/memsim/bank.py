@@ -23,7 +23,11 @@ from repro.memsim.counters import CounterFile
 from repro.memsim.engine import EventEngine
 from repro.memsim.request import MemRequest
 from repro.memsim.rank import Rank
+from repro.memsim.states import RankPowerState
 from repro.memsim.timing import AccessClass, TimingCalculator
+
+_ACTIVE_STANDBY = RankPowerState.ACTIVE_STANDBY
+_PRECHARGE_STANDBY = RankPowerState.PRECHARGE_STANDBY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.memsim.channel import Channel
@@ -38,6 +42,7 @@ class Bank:
         "_rank", "bank_id", "read_q", "write_q", "busy", "open_row",
         "_in_service", "_last_act_ns", "_current_act_ns",
         "_t_cl_ns", "_t_rcd_ns", "_t_rp_ns", "_t_rc_ns", "_t_ras_ns",
+        "_channel_id", "_open_page",
     )
 
     def __init__(self, engine: EventEngine, timing: TimingCalculator,
@@ -64,6 +69,9 @@ class Bank:
         self._t_rp_ns = table.t_rp_ns
         self._t_rc_ns = table.t_rc_ns
         self._t_ras_ns = table.t_ras_ns
+        # run-constant lookups hoisted off the per-access path
+        self._channel_id = channel.channel_id
+        self._open_page = controller.row_policy == "open"
 
     # -- queue interface ----------------------------------------------------
 
@@ -77,7 +85,11 @@ class Bank:
         return len(self.read_q) + len(self.write_q) + (1 if self.busy else 0)
 
     def enqueue(self, request: MemRequest) -> None:
-        """Add a request; the controller has already stamped its arrival."""
+        """Add a request; the controller has already stamped its arrival.
+
+        The idle-bank kick is inlined (rather than delegated to
+        :meth:`kick`) because this runs once per simulated request.
+        """
         if not self.busy and not self.read_q and not self.write_q:
             # idle-with-empty-queues -> active transition (rank bookkeeping)
             self._rank._active_banks += 1
@@ -85,13 +97,20 @@ class Bank:
             self.read_q.append(request)
         else:
             self.write_q.append(request)
-        self.kick()
+        if self.busy:
+            return
+        if self._rank.refresh_busy_until > self._engine._now:
+            # resume when the refresh completes (the rank kicks us back)
+            return
+        request = self._select_next()
+        if request is not None:
+            self._start_service(request)
 
     def kick(self) -> None:
         """Attempt to start servicing the next request, if idle."""
         if self.busy or not (self.read_q or self.write_q):
             return
-        if self._rank.refresh_busy_until > self._engine.now:
+        if self._rank.refresh_busy_until > self._engine._now:
             # resume when the refresh completes (the rank kicks us back)
             return
         request = self._select_next()
@@ -123,33 +142,47 @@ class Bank:
     # -- service -------------------------------------------------------------
 
     def _start_service(self, request: MemRequest) -> None:
+        # The hottest handler of the request path: run-constant
+        # collaborator lookups are hoisted to locals, the controller's
+        # freeze-window method and the rank's standby-transition wrapper
+        # are inlined, and the clock is read once without the property.
         engine = self._engine
         controller = self._controller
         rank = self._rank
-        now = engine.now
-        start = max(now,
-                    controller.channel_frozen_until_ns(
-                        self._channel.channel_id),
-                    rank.refresh_busy_until,
-                    rank.sr_ready_until)
+        counters = self._counters
+        now = engine._now
+        start = controller._channel_frozen_until_ns[self._channel_id]
+        t = controller.frozen_until_ns
+        if t > start:
+            start = t
+        if now > start:
+            start = now
+        t = rank.refresh_busy_until
+        if t > start:
+            start = t
+        t = rank.sr_ready_until
+        if t > start:
+            start = t
         # Exiting powerdown costs tXP / tXPDLL and is counted via EPDC.
-        exit_penalty = rank.wake_for_access()
-        if exit_penalty > 0:
-            request.powerdown_exit = True
-            start += exit_penalty
+        state = rank._state
+        if state is not _ACTIVE_STANDBY and state is not _PRECHARGE_STANDBY:
+            exit_penalty = rank.wake_for_access()
+            if exit_penalty > 0:
+                request.powerdown_exit = True
+                start += exit_penalty
         open_row = self.open_row
         row = request.location.row
         if open_row is None:
             access = AccessClass.CLOSED_BANK_MISS
-            self._counters.record_closed_bank_miss()
+            counters.cbmc += 1.0
         elif open_row == row:
             access = AccessClass.ROW_HIT
             request.row_hit = True
-            self._counters.record_row_hit()
+            counters.rbhc += 1.0
         else:
             access = AccessClass.OPEN_ROW_MISS
             request.open_row_miss = True
-            self._counters.record_open_row_miss()
+            counters.obmc += 1.0
 
         if access is not AccessClass.ROW_HIT:
             not_before = start
@@ -160,7 +193,8 @@ class Bank:
             if row_cycle_ok > not_before:
                 not_before = row_cycle_ok
             act = rank.earliest_activate_ns(not_before)
-            rank.record_activate(act)
+            rank._recent_activates.append(act)
+            counters.pocc += 1.0
             self._last_act_ns = act
             self._current_act_ns = act
             request.act_ns = act
@@ -178,19 +212,28 @@ class Bank:
         if open_row is None:
             rank._open_rows += 1
         self.open_row = row
-        rank.notify_bank_activity()
+        if rank._state is not _ACTIVE_STANDBY:
+            rank._transition_at(_ACTIVE_STANDBY, now)
         request.bank_start_ns = start
         v = controller.validator
         if v is not None:
-            v.on_service_start(self._channel.channel_id,
+            v.on_service_start(self._channel_id,
                                rank.global_rank_index, self.bank_id,
                                request, access, start, data_ready)
-        engine.post_at(data_ready, lambda: self._bank_done(request))
+        engine.post_chain_at(data_ready, lambda: self._bank_done(request))
 
     def _bank_done(self, request: MemRequest) -> None:
-        """Array access complete; hold the bank and wait for the bus."""
-        request.bank_done_ns = self._engine.now
-        self._channel.request_bus(request, self)
+        """Array access complete; hold the bank and wait for the bus.
+
+        The channel's ``request_bus`` dispatch is inlined — one event per
+        access runs through here, and the branch is two attribute reads.
+        """
+        request.bank_done_ns = self._engine._now
+        channel = self._channel
+        if channel._bus_busy:
+            channel._waiting.append((request, self))
+        else:
+            channel._start_burst(request, self)
 
     # -- post-burst release (called by the channel) ---------------------------
 
@@ -203,8 +246,8 @@ class Bank:
         Open-page policy: always keep the row open; a later conflicting
         access pays the precharge as an open-row miss.
         """
-        burst_end = self._engine.now
-        if self._controller.row_policy == "open":
+        burst_end = self._engine._now
+        if self._open_page:
             keep_open = True
         else:
             nxt = self._peek_next()
@@ -214,16 +257,18 @@ class Bank:
             self._free(burst_end)
         else:
             # tRAS: the row must stay open at least tRAS after its activate.
-            pre_start = max(burst_end, self._current_act_ns + self._t_ras_ns)
+            pre_start = self._current_act_ns + self._t_ras_ns
+            if burst_end > pre_start:
+                pre_start = burst_end
             free_at = pre_start + self._t_rp_ns
             self.open_row = None
             self._rank._open_rows -= 1
             v = self._controller.validator
             if v is not None:
-                v.on_precharge(self._channel.channel_id,
+                v.on_precharge(self._channel_id,
                                self._rank.global_rank_index, self.bank_id,
                                pre_start, free_at)
-            self._engine.post_at(free_at, lambda: self._free(free_at))
+            self._engine.post_chain_at(free_at, lambda: self._free(free_at))
 
     def _peek_next(self) -> Optional[MemRequest]:
         if self._controller._wb_priority[self._channel.channel_id]:

@@ -55,20 +55,37 @@ class Channel:
             self._start_burst(request, bank)
 
     def _start_burst(self, request: MemRequest, bank: "Bank") -> None:
-        now = self._engine.now
-        start = max(now, self._controller.channel_frozen_until_ns(self.channel_id))
+        # Hot path: freeze-window lookup and the counter-file access
+        # bookkeeping are inlined (one call per burst otherwise).
+        engine = self._engine
+        controller = self._controller
+        channel_id = self.channel_id
+        now = engine._now
+        start = controller._channel_frozen_until_ns[channel_id]
+        t = controller.frozen_until_ns
+        if t > start:
+            start = t
+        if now > start:
+            start = now
         burst_ns = self.burst_ns
         self._bus_busy = True
         request.bus_start_ns = start
-        self._counters.record_access(self.channel_id, request.is_read, burst_ns)
+        counters = self._counters
+        if request.is_read:
+            counters.reads += 1.0
+            counters.channel_reads[channel_id] += 1.0
+        else:
+            counters.writes += 1.0
+            counters.channel_writes[channel_id] += 1.0
+        counters.channel_busy_ns[channel_id] += burst_ns
         end = start + burst_ns
-        v = self._controller.validator
+        v = controller.validator
         if v is not None:
-            v.on_burst(self.channel_id, request, start, end)
-        self._engine.post_at(end, lambda: self._end_burst(request, bank))
+            v.on_burst(channel_id, request, start, end)
+        engine.post_chain_at(end, lambda: self._end_burst(request, bank))
 
     def _end_burst(self, request: MemRequest, bank: "Bank") -> None:
-        request.complete_ns = self._engine.now
+        request.complete_ns = self._engine._now
         self._bus_busy = False
         # Free the bank first so a same-row follow-up is visible as a hit.
         bank.release_after_burst(request)

@@ -117,6 +117,7 @@ class MemoryController:
         self._t_refi_ns = self._timing.table.t_refi_ns
         if config.fast_forward:
             engine.set_fast_forward(self._fast_forward_idle)
+        engine.set_chain_absorption(config.busy_absorption)
 
         if config.validate_protocol:
             self.attach_validator(ProtocolValidator(config))
@@ -207,7 +208,7 @@ class MemoryController:
         request first waits out the freeze window and *then* pays the MC
         processing latency.
         """
-        now = self._engine.now
+        now = self._engine._now
         request.issue_ns = now
         request.arrive_mc_ns = now
         self._in_flight += 1
@@ -226,7 +227,8 @@ class MemoryController:
         if freeze_wait < 0.0:
             freeze_wait = 0.0
         mc_delay = freeze_wait + self._mc_latency_ns
-        self._engine.post(mc_delay, lambda: self._arrive_at_bank(request))
+        self._engine.post_chain(mc_delay,
+                                lambda: self._arrive_at_bank(request))
 
     def submit_read(self, line_addr: int, core_id: int = 0, app_id: int = 0,
                     on_complete: Optional[Callable[[MemRequest], None]] = None
@@ -253,15 +255,21 @@ class MemoryController:
         bank = self._bank_list[
             (channel * self._ranks_per_channel + loc.rank)
             * self._banks_per_rank + loc.bank]
-        request.arrive_bank_ns = self._engine.now
+        request.arrive_bank_ns = now = self._engine._now
         v = self.validator
         if v is not None:
-            v.on_arrive(request, self._engine.now)
+            v.on_arrive(request, now)
         # Sample the transactions-outstanding accumulators (Section 3.1)
-        # at arrival, before this request is added.
-        self.counters.record_request_arrival(
-            float(bank.outstanding),
-            float(self.channels[channel].bus_outstanding))
+        # at arrival, before this request is added. The occupancy
+        # properties and the counter-file record call are inlined: this
+        # runs once per simulated request.
+        ch = self.channels[channel]
+        counters = self.counters
+        counters.bto += (len(bank.read_q) + len(bank.write_q)
+                         + (1 if bank.busy else 0))
+        counters.btc += 1.0
+        counters.cto += len(ch._waiting) + (1 if ch._bus_busy else 0)
+        counters.ctc += 1.0
         bank.enqueue(request)
 
     def on_request_complete(self, request: MemRequest) -> None:
@@ -275,7 +283,7 @@ class MemoryController:
             self.completed_writes += 1
         v = self.validator
         if v is not None:
-            v.on_complete(request, self._engine.now)
+            v.on_complete(request, self._engine._now)
 
     # -- writeback priority -------------------------------------------------------
 

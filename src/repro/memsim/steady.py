@@ -1,0 +1,375 @@
+"""Busy-period steady-state absorption (approximate fast path).
+
+The idle fast-forward path (PR 5) can only skip time when the memory
+subsystem is completely quiescent. Long stretches of *busy* execution
+with stationary behaviour — the common case for the paper's synthetic
+MPKI mixes, whose per-core arrival statistics do not drift within an
+epoch — still dispatch every event. This module adds the missing half:
+a surrogate that simulates short *windows* of an epoch body
+event-exactly and, once two consecutive windows agree statistically,
+accounts the rest of the stretch by scaling the last window's counter
+delta and translating all pending work forward in time.
+
+Operation per epoch body ``[t0, t1]``:
+
+1. **Window.** Simulate ``WINDOW_FRACTION * (t1 - t0)`` normally
+   (chain absorption and idle fast-forward stay active) and measure
+   the window's LLC-miss arrival rate and row-buffer hit ratio.
+2. **Detect.** The stretch is periodic-stationary when the window's
+   statistics match the previous window's (same bus frequency,
+   arrival rate within ``STABILITY_TOL`` relative, hit ratio within
+   ``STABILITY_TOL`` absolute, enough misses for the estimate to be
+   meaningful). The previous window may belong to the previous epoch
+   body — steady workloads re-engage after one window per epoch.
+3. **Extrapolate.** Scale the window's counter delta by
+   ``skip / window`` and fold it into the live counter file with the
+   batched numpy kernel :meth:`CounterFile.apply_scaled_delta`;
+   credit each core's committed-instruction count with its scaled
+   window commit; credit the engine with the estimated number of
+   elided events. A core whose instruction target falls *inside* the
+   jump gets its target-hit time interpolated from its window commit
+   rate, so per-core termination times stay accurate even when the
+   surrogate leaps straight past the finish line (a jump is refused
+   only when an unfinished core committed nothing in the window —
+   there is no rate to interpolate with).
+5. **Shift.** Advance the engine clock by the skipped duration and
+   translate every pending heap entry and every absolute-time state
+   field (rank residency anchors, refresh/SR windows, activate
+   history, bank activate timestamps, freeze windows, core gap
+   anchors) by the same delta. A uniform shift preserves every
+   relative ordering, so in-flight requests complete with identical
+   relative timing on the far side of the jump.
+
+Vetoes — conditions under which absorption must not engage:
+
+* the protocol validator is armed (it checks per-command timing that
+  scaled counters cannot reproduce);
+* any rank is parked in SELF_REFRESH (parking/unparking is a policy
+  decision mid-epoch; skipping time would starve the unpark check —
+  the same bug class as PR 8's tombstoned-refresh regression);
+* a placement MigrationPump has copy traffic queued or in flight
+  (migration completion callbacks advance policy state);
+* a frequency re-lock freeze window is still open (global or any
+  channel).
+
+Everything here is gated behind ``SystemConfig.approx_steady_state``
+(default off) and is *deliberately not bit-exact*: scaled counter adds
+do not replay per-event float ordering. The exact-mode guarantees
+(golden snapshot, byte-identical fast-forward and chain absorption)
+are untouched — this flag IS part of the result-cache fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.memsim.states import RankPowerState
+
+#: Fraction of an epoch body simulated event-exactly per detector
+#: window; absorption can engage after two windows.
+WINDOW_FRACTION = 0.125
+
+#: Relative tolerance on the miss-arrival rate, and absolute tolerance
+#: on the row-hit ratio, for two windows to count as "the same". On
+#: top of this the rate comparison allows two standard deviations of
+#: Poisson counting noise — short windows cannot distinguish drift
+#: below their own shot-noise floor, and the extrapolation error from
+#: matching at the noise floor is bounded by that same floor.
+STABILITY_TOL = 0.10
+
+#: Minimum LLC misses a window must contain for its statistics to be
+#: trusted; sparser traffic is left to the idle fast-forward path.
+MIN_WINDOW_MISSES = 32.0
+
+#: Consecutive epoch bodies in which *no* window yielded trustworthy
+#: statistics before the windowing machinery is bypassed for the rest
+#: of the run. Sparse (low-MPKI) workloads never engage the detector,
+#: so paying two snapshots per window for them is pure overhead — the
+#: idle fast-forward path already owns that regime.
+SPARSE_STRIKES = 2
+
+
+class SteadyStateAbsorber:
+    """Per-run state machine driving busy-period absorption.
+
+    One instance per :class:`~repro.sim.system.SystemSimulator` run;
+    :meth:`run_body` replaces the epoch-body ``run_until_stopped`` call
+    when ``approx_steady_state`` is enabled.
+    """
+
+    def __init__(self, engine, controller, cluster, governor):
+        self._engine = engine
+        self._controller = controller
+        self._cluster = cluster
+        self._governor = governor
+        #: statistics of the most recent exactly-simulated window:
+        #: (misses_per_ns, row_hit_ratio, bus_mhz, misses), or None
+        self._prev: Optional[Tuple[float, float, float, float]] = None
+        #: snapshot taken when the previous body ended; the stretch
+        #: between it and the next body's start is the profiling phase,
+        #: whose statistics prime the detector so a stationary epoch
+        #: can engage on its very first window
+        self._exit_snap = None
+        #: consecutive bodies whose every window was too sparse for
+        #: statistics; after SPARSE_STRIKES the windowing machinery is
+        #: bypassed entirely (the idle fast-forward path owns sparse
+        #: workloads — snapshots per window would be pure overhead)
+        self._sparse_strikes = 0
+        #: diagnostics
+        self.absorbed_spans = 0
+        self.absorbed_ns = 0.0
+
+    # -- public entry -----------------------------------------------------
+
+    def run_body(self, end_ns: float, probe) -> bool:
+        """Advance the simulation to ``end_ns`` (one epoch body).
+
+        Returns True when every core reached its instruction target.
+        """
+        engine = self._engine
+        if self._sparse_strikes >= SPARSE_STRIKES:
+            return bool(engine.run_until_stopped(end_ns, probe))
+        body_ns = end_ns - engine._now
+        if body_ns <= 0:
+            return bool(engine.run_until_stopped(end_ns, probe))
+        window_ns = body_ns * WINDOW_FRACTION
+
+        # prime the detector from the profiling phase that just ran:
+        # its exact stretch is bounded by the previous body's exit
+        # snapshot and a fresh one, so a stationary epoch can engage on
+        # its very first window instead of its second
+        entry_snap = self._snapshot()
+        if self._exit_snap is not None:
+            self._prev = self._stats(self._exit_snap, entry_snap) \
+                or self._prev
+
+        try:
+            saw_stats = self._windowed_body(end_ns, probe, entry_snap,
+                                            window_ns)
+        finally:
+            if saw_stats:
+                self._sparse_strikes = 0
+            else:
+                self._sparse_strikes += 1
+            self._exit_snap = self._snapshot()
+        return self._finished
+
+    def _windowed_body(self, end_ns: float, probe, entry_snap,
+                       window_ns: float) -> bool:
+        """Run the windowed detector loop over one epoch body.
+
+        Returns True when at least one window produced trustworthy
+        statistics (used by the sparse-bypass heuristic); the
+        finished-status of the body lands in ``self._finished``.
+        """
+        engine = self._engine
+        counters = self._controller.counters
+        saw_stats = False
+        self._finished = False
+        # the body starts exactly where ``entry_snap`` was taken, so it
+        # doubles as the first window's start snapshot; afterwards each
+        # window's end snapshot is reused as the next window's start
+        # (None forces a fresh one after a jump scaled the counters)
+        snap_a = entry_snap
+
+        while True:
+            now = engine._now
+            if now >= end_ns:
+                self._finished = bool(engine.run_until_stopped(end_ns,
+                                                               probe))
+                return saw_stats
+            window_end = now + window_ns
+            if window_end > end_ns:
+                window_end = end_ns
+            if snap_a is None:
+                snap_a = self._snapshot()
+            ev_a = engine.events_processed + engine.events_busy_absorbed
+            if engine.run_until_stopped(window_end, probe):
+                self._finished = True
+                return saw_stats
+            snap_b = self._snapshot()
+            ev_b = engine.events_processed + engine.events_busy_absorbed
+            stats = self._stats(snap_a, snap_b)
+            if stats is not None:
+                saw_stats = True
+            prev, self._prev = self._prev, stats
+            if (stats is None or prev is None
+                    or not self._matches(prev, stats) or self._vetoed()):
+                snap_a = snap_b
+                continue
+            # -- stationary: extrapolate to the body end ------------------
+            now = engine._now
+            w_ns = snap_b.time_ns - snap_a.time_ns
+            skip_ns = end_ns - now
+            finish_ns = self._finish_span(snap_a, snap_b, w_ns)
+            if finish_ns < 0:
+                snap_a = snap_b
+                continue  # an unfinished core has no rate to jump with
+            if finish_ns < skip_ns:
+                # every core projects to finish inside the jump: stop the
+                # clock at the projected last hit, not the body end, so
+                # simulated time (and extrapolated energy) does not run
+                # past the true end of the workload
+                skip_ns = finish_ns
+            if skip_ns <= w_ns or w_ns <= 0:
+                snap_a = snap_b
+                continue  # too little left to be worth a jump
+            ratio = skip_ns / w_ns
+            counters.apply_scaled_delta(snap_a, snap_b, ratio)
+            self._shift_time(skip_ns)
+            self._advance_cores(snap_a, snap_b, ratio, now, w_ns)
+            engine.note_steady_skip(int((ev_b - ev_a) * ratio))
+            self.absorbed_spans += 1
+            self.absorbed_ns += skip_ns
+            snap_a = None  # counters were rescaled; snapshot is stale
+            if probe():
+                self._finished = True
+                return saw_stats
+
+    # -- detector ---------------------------------------------------------
+
+    def _snapshot(self):
+        self._cluster.sync_committed()
+        return self._controller.snapshot()
+
+    def _stats(self, snap_a, snap_b
+               ) -> Optional[Tuple[float, float, float, float]]:
+        interval = snap_b.time_ns - snap_a.time_ns
+        if interval <= 0:
+            return None
+        misses = float((snap_b.tlm - snap_a.tlm).sum())
+        if misses < MIN_WINDOW_MISSES:
+            return None
+        hits = snap_b.rbhc - snap_a.rbhc
+        accesses = (hits + (snap_b.obmc - snap_a.obmc)
+                    + (snap_b.cbmc - snap_a.cbmc))
+        if accesses <= 0:
+            return None
+        return (misses / interval, hits / accesses,
+                self._controller.freq.bus_mhz, misses)
+
+    @staticmethod
+    def _matches(prev: Tuple[float, float, float, float],
+                 cur: Tuple[float, float, float, float]) -> bool:
+        p_rate, p_hit, p_mhz, p_misses = prev
+        c_rate, c_hit, c_mhz, c_misses = cur
+        if p_mhz != c_mhz:
+            return False
+        # two-sigma Poisson allowance on top of the base tolerance
+        noise = 2.0 * (1.0 / p_misses + 1.0 / c_misses) ** 0.5
+        tol = STABILITY_TOL + noise
+        if abs(p_rate - c_rate) > tol * max(p_rate, c_rate):
+            return False
+        return abs(p_hit - c_hit) <= tol
+
+    def _vetoed(self) -> bool:
+        controller = self._controller
+        if controller.validator is not None:
+            return True
+        now = self._engine._now
+        if controller.frozen_until_ns > now:
+            return True
+        if any(t > now for t in controller._channel_frozen_until_ns):
+            return True
+        for rank in controller.ranks:
+            if rank._state is RankPowerState.SELF_REFRESH:
+                return True
+        pump = getattr(self._governor, "pump", None)
+        if pump is not None and not pump.idle:
+            return True
+        return False
+
+    # -- extrapolation mechanics ------------------------------------------
+
+    def _finish_span(self, snap_a, snap_b, w_ns: float) -> float:
+        """Span (ns from now) of the latest projected target hit among
+        unfinished cores, from per-core window commit rates.
+
+        Returns ``inf`` when no unfinished core constrains the jump,
+        and ``-1`` when an unfinished core committed nothing in the
+        window — stationary traffic with a zero-commit core means that
+        core is abnormally blocked, and jumping would freeze it at zero
+        progress with no rate to interpolate a target hit from.
+        """
+        span = float("inf")
+        latest = 0.0
+        constrained = False
+        window_tic = snap_b.tic - snap_a.tic
+        for core in self._cluster.cores:
+            target = core.target_instructions
+            if target is None or core.time_at_target_ns is not None:
+                continue
+            committed_w = float(window_tic[core.core_id])
+            if committed_w <= 0:
+                return -1.0
+            constrained = True
+            remaining = target - core.instructions_committed
+            s = remaining * w_ns / committed_w
+            if s > latest:
+                latest = s
+        return latest if constrained else span
+
+    def _advance_cores(self, snap_a, snap_b, ratio: float,
+                       jump_start_ns: float, w_ns: float) -> None:
+        """Credit each core with the scaled window commit.
+
+        ``counters.tic`` already received the scaled add inside
+        :meth:`CounterFile.apply_scaled_delta`; this advances the plain
+        ``instructions_committed`` attributes that drive termination.
+        A core whose target falls inside the jump gets its hit time
+        interpolated from the window commit rate — the same linear
+        model the counter extrapolation assumes.
+        """
+        now = self._engine._now
+        window_tic = snap_b.tic - snap_a.tic
+        for core in self._cluster.cores:
+            committed_w = float(window_tic[core.core_id])
+            extra = int(committed_w * ratio)
+            if extra <= 0:
+                continue
+            before = core.instructions_committed
+            core.instructions_committed = before + extra
+            target = core.target_instructions
+            if (target is not None and core.time_at_target_ns is None
+                    and before + extra >= target):
+                t_hit = jump_start_ns + (target - before) * w_ns / committed_w
+                core.time_at_target_ns = t_hit if t_hit < now else now
+                if core.on_target_reached is not None:
+                    core.on_target_reached()
+
+    def _shift_time(self, delta: float) -> None:
+        """Translate the engine clock and all absolute-time state by
+        ``delta``. Sentinel values (-1.0 / -inf meaning "never") are
+        left alone; genuinely-past timestamps may shift — a uniform
+        translation keeps them in the past relative to the new clock.
+        """
+        engine = self._engine
+        controller = self._controller
+        engine._now += delta
+        for entry in engine._queue:
+            entry[0] += delta
+        engine._horizon = None
+        if controller.frozen_until_ns > 0:
+            controller.frozen_until_ns += delta
+        frozen = controller._channel_frozen_until_ns
+        for i, t in enumerate(frozen):
+            if t > 0:
+                frozen[i] = t + delta
+        for rank in controller.ranks:
+            rank._state_since += delta
+            if rank.refresh_busy_until > 0:
+                rank.refresh_busy_until += delta
+            if rank.sr_ready_until > 0:
+                rank.sr_ready_until += delta
+            if rank._sr_enter_ns > 0:
+                rank._sr_enter_ns += delta
+            recent = rank._recent_activates
+            if recent:
+                shifted = [t + delta for t in recent]
+                recent.clear()
+                recent.extend(shifted)
+            for bank in rank._banks:
+                bank._last_act_ns += delta
+                bank._current_act_ns += delta
+        for core in self._cluster.cores:
+            core._gap_start_ns += delta

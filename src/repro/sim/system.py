@@ -64,6 +64,14 @@ class SystemSimulator:
         self.cluster = CpuCluster(self.engine, self.controller, config.cpu,
                                   workload.cores, loop_traces=True)
         self.power_model = PowerModel(config)
+        # Approximate steady-state absorption (memsim/steady.py):
+        # default-off surrogate that extrapolates stationary epoch
+        # bodies instead of simulating every event.
+        self._absorber = None
+        if config.approx_steady_state:
+            from repro.memsim.steady import SteadyStateAbsorber
+            self._absorber = SteadyStateAbsorber(
+                self.engine, self.controller, self.cluster, governor)
         if target_instructions is None:
             target_instructions = min(c.total_instructions
                                       for c in workload.cores)
@@ -122,7 +130,11 @@ class SystemSimulator:
                 # ---- epoch body at the new frequency ----
                 freq_body = controller.freq
                 channels_body = governor.channel_bus_mhz(controller)
-                finished = self._run_until_or_done(epoch_end)
+                if self._absorber is not None:
+                    finished = self._absorber.run_body(
+                        epoch_end, self.cluster.all_reached_probe)
+                else:
+                    finished = self._run_until_or_done(epoch_end)
                 epoch_end = engine.now
                 snap_end = take_snapshot()
                 delta_body = CounterFile.delta(snap_profile, snap_end)
@@ -191,10 +203,8 @@ class SystemSimulator:
         single heap pop plus one stop-predicate call, instead of the
         peek/step/check round-trip through three method boundaries.
         """
-        cluster = self.cluster
-        n = len(cluster.cores)
-        return self.engine.run_until_stopped(
-            time_ns, lambda: cluster.reached_count >= n)
+        return bool(self.engine.run_until_stopped(
+            time_ns, self.cluster.all_reached_probe))
 
     def _account(self, energy_j: Dict[str, float], delta, freq,
                  device_mhz: Optional[float],

@@ -141,28 +141,32 @@ def test_speedup_reported_against_pre_pr(tmp_path):
 
 def test_committed_bench_file_is_consistent():
     # The repo's own BENCH_perf.json must stay parseable and claim the
-    # rewrite's target: >= 2x events/sec on both pinned scenarios, per
-    # the frozen matched-window pair (pre_pr vs post_rewrite — 'latest'
-    # is volatile and legitimately dips with host load).
+    # busy-period absorption PR's target: >= 1.5x events/sec on mid1
+    # and ladder, per the frozen matched-window pair (pre_pr = old code
+    # in a HEAD worktree, post_rewrite = new code, alternating runs on
+    # one host — 'latest' is volatile and legitimately dips with host
+    # load). ilp is pinned only to "no regression beyond host noise":
+    # its events are already ~90% absorbed by idle fast-forward, so the
+    # surrogate deliberately bypasses it.
     from pathlib import Path
     path = Path(__file__).parent.parent / "BENCH_perf.json"
     data = json.loads(path.read_text())
-    for name in ("smoke", "mid1"):
+    for name in ("smoke", "mid1", "ilp", "ladder"):
         pre = data["pre_pr"][name]["events_per_sec"]
         post = data["post_rewrite"][name]["events_per_sec"]
-        assert pre > 0
-        assert post / pre >= 2.0
+        assert pre > 0 and post > 0
         assert data["baseline"][name]["events_per_sec"] > 0
         assert data["latest"][name]["events_per_sec"] > 0
-    # The fast-forward PR's matched-window pair on the low-MPKI
-    # scenario: pre_pr = batch path off, post_rewrite = on, interleaved
-    # on one host. Target: >= 1.5x events/sec.
-    ilp_pre = data["pre_pr"]["ilp"]["events_per_sec"]
-    ilp_post = data["post_rewrite"]["ilp"]["events_per_sec"]
-    assert ilp_pre > 0
-    assert ilp_post / ilp_pre >= 1.5
-    assert data["pre_pr"]["ilp"]["events_fast_forwarded"] == 0
-    assert data["post_rewrite"]["ilp"]["events_fast_forwarded"] > 0
+    for name in ("mid1", "ladder"):
+        pre = data["pre_pr"][name]["events_per_sec"]
+        post = data["post_rewrite"][name]["events_per_sec"]
+        assert post / pre >= 1.5
+    assert (data["post_rewrite"]["ilp"]["events_per_sec"]
+            / data["pre_pr"]["ilp"]["events_per_sec"]) >= 0.85
+    # The steady-state surrogate engaged on the measured runs of the
+    # scenarios that claim the speedup.
+    for name in ("mid1", "ladder"):
+        assert data["post_rewrite"][name]["events_steady_skipped"] > 0
 
 
 def test_git_sha_shape():
@@ -205,3 +209,50 @@ def test_gate_failure_names_both_numbers(tmp_path):
     message = str(exc.value)
     assert "current" in message and "baseline" in message
     assert "events/sec" in message
+
+
+def test_machine_mismatch_prints_advisory_warning(tmp_path, capsys):
+    # A baseline recorded elsewhere must not silently disarm the gate:
+    # the report has to say, loudly, that the numbers are advisory.
+    out = tmp_path / "b.json"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE, quiet=True)
+    data = json.loads(out.read_text())
+    data["baseline"]["smoke"]["events_per_sec"] *= 1000.0
+    data["baseline_machine"] = {"platform": "someone-elses-laptop"}
+    out.write_text(json.dumps(data))
+    capsys.readouterr()
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE)
+    printed = capsys.readouterr().out
+    assert "WARNING" in printed
+    assert "different" in printed and "machine" in printed
+    assert "ADVISORY" in printed
+    assert "--update-baseline" in printed
+    # ...and the thousand-fold "regression" still does not raise.
+
+
+def test_median_of_repeats_is_default(tmp_path):
+    assert perfbench.DEFAULT_REPEATS == 3
+    out = tmp_path / "b.json"
+    record = run_perfbench(output=str(out), repeats=2, scenarios=SMOKE,
+                           quiet=True)
+    assert record["repeats"] == 2
+    # Deterministic workload: the event count is repeat-invariant, so
+    # whichever repeat the median picks must carry the same total.
+    smoke = next(s for s in SCENARIOS if s.name == "smoke")
+    assert record["latest"]["smoke"]["events"] \
+        == run_scenario(smoke, repeats=1)["events"]
+
+
+def test_profile_writes_dump_and_prints_hotspots(tmp_path, capsys):
+    out = tmp_path / "b.json"
+    dump = tmp_path / "perf.pstats"
+    run_perfbench(output=str(out), repeats=1, scenarios=SMOKE,
+                  quiet=True, profile=True, profile_out=str(dump))
+    printed = capsys.readouterr().out
+    assert "hot spots by cumulative time" in printed
+    assert str(dump) in printed
+    assert dump.exists() and dump.stat().st_size > 0
+    # The dump is a loadable pstats file with real samples in it.
+    import pstats
+    stats = pstats.Stats(str(dump))
+    assert stats.total_calls > 0
